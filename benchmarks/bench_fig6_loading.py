@@ -1,0 +1,39 @@
+"""Figure 6 — loading-cost breakdown for all five approaches × scale factors.
+
+Buckets mirror the paper's stacked bars: mSEED→CSV, CSV→DB, mSEED→DB,
+metadata extraction, index construction, DMd derivation.  Shapes to hold:
+lazy is metadata-only and orders of magnitude below every eager variant;
+eager_csv is the slowest eager pipeline; indexing roughly doubles eager
+preparation; eager_dmd adds the view materialization on top.
+"""
+
+from conftest import run_once
+
+from repro.bench import run_fig6
+
+
+def test_fig6_loading_breakdown(benchmark, ctx):
+    table = run_once(benchmark, lambda: run_fig6(ctx))
+    table.emit("fig6_loading.txt")
+
+    by_key = {}
+    for sf in ctx.profile.scale_factors:
+        for approach in ("eager_csv", "eager_plain", "eager_index",
+                         "eager_dmd", "lazy"):
+            by_key[(sf, approach)] = ctx.prepared(approach, sf).report
+
+    largest = ctx.profile.scale_factors[-1]
+    # Lazy preparation is dramatically cheaper than any eager variant.  At
+    # paper scale the gap is orders of magnitude; at laptop scale per-file
+    # overheads (and CI noise) compress it, so assert a conservative factor.
+    lazy_total = by_key[(largest, "lazy")].total_seconds
+    for approach in ("eager_csv", "eager_plain", "eager_index", "eager_dmd"):
+        assert lazy_total < by_key[(largest, approach)].total_seconds / 2
+    # The CSV detour costs more than loading mSEED directly.
+    assert (
+        by_key[(largest, "eager_csv")].total_seconds
+        > by_key[(largest, "eager_plain")].total_seconds
+    )
+    # eager_dmd strictly extends eager_index which extends eager_plain.
+    assert by_key[(largest, "eager_dmd")].bucket("dmd") > 0
+    assert by_key[(largest, "eager_index")].bucket("indexing") > 0

@@ -1,0 +1,82 @@
+"""Figures 7a–7e — cold/hot single-query performance.
+
+One row per (query type, scale factor, approach), with the paper's fixed
+2-day/1-station query per type.  Shapes to hold: T1 flat everywhere;
+eager_dmd wins T2/T3 by orders of magnitude over lazy; lazy reaches the
+eager ballpark on T4; lazy is flat in the scale factor while the eager
+variants degrade once data plus indexes outgrow the buffer pool.
+"""
+
+from conftest import run_once
+
+from repro.bench import run_fig7
+from repro.bench.timing import measure_cold_hot
+
+
+def test_fig7_single_query_performance(benchmark, ctx):
+    table = run_once(benchmark, lambda: run_fig7(ctx))
+    table.emit("fig7_queries.txt")
+    expected_rows = (
+        5
+        * len(ctx.profile.scale_factors)
+        * len(ctx.profile.fig7_approaches)
+    )
+    assert len(table.rows) == expected_rows
+
+
+def test_fig7_lazy_flat_in_scale_factor(ctx):
+    """The paper: "lazy does not get affected by the scale factor"."""
+    from repro.bench.experiments import _cold_hot_with_reset
+    from repro.workloads.queries import t4_query
+
+    smallest = ctx.profile.scale_factors[0]
+    largest = ctx.profile.scale_factors[-1]
+    runs = ctx.profile.query_runs
+    small_db = ctx.prepared("lazy", smallest).db
+    large_db = ctx.prepared("lazy", largest).db
+    sql_small = t4_query(ctx.query_params(smallest))
+    sql_large = t4_query(ctx.query_params(largest))
+    small_time = _cold_hot_with_reset(small_db, sql_small, runs, False)
+    large_time = _cold_hot_with_reset(large_db, sql_large, runs, False)
+    # Same query, same chunk count: within a generous constant factor.
+    assert large_time.cold_seconds < 10 * max(small_time.cold_seconds, 1e-4)
+
+
+def test_fig7_eager_dmd_wins_t2(ctx):
+    """eager_dmd answers T2 from the materialized view in ~milliseconds."""
+    from repro.workloads.queries import t2_query
+
+    sf = ctx.profile.scale_factors[-1]
+    sql = t2_query(ctx.query_params(sf))
+    dmd_db = ctx.prepared("eager_dmd", sf).db
+    lazy_db = ctx.prepared("lazy", sf).db
+    lazy_db.reset_derived_metadata()
+    lazy_db.drop_caches()
+    dmd_db.drop_caches()
+    from repro.bench.timing import time_call
+
+    dmd_time = time_call(lambda: dmd_db.query(sql))
+    lazy_time = time_call(lambda: lazy_db.query(sql))
+    assert dmd_time < lazy_time
+
+
+def test_fig7_hot_t4_lazy_microbenchmark(benchmark, ctx):
+    """pytest-benchmark statistics for the hot lazy T4 query."""
+    from repro.workloads.queries import t4_query
+
+    sf = ctx.profile.scale_factors[0]
+    db = ctx.prepared("lazy", sf).db
+    sql = t4_query(ctx.query_params(sf))
+    db.query(sql)  # warm the recycler
+    benchmark(lambda: db.query(sql))
+
+
+def test_fig7_hot_t1_microbenchmark(benchmark, ctx):
+    """T1 is metadata-only and should be fast on any approach."""
+    from repro.workloads.queries import t1_query
+
+    sf = ctx.profile.scale_factors[0]
+    db = ctx.prepared("lazy", sf).db
+    sql = t1_query(ctx.query_params(sf))
+    db.query(sql)
+    benchmark(lambda: db.query(sql))

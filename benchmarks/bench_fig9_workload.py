@@ -1,0 +1,24 @@
+"""Figure 9 — cumulative workload time vs workload selectivity (FIAM).
+
+Workloads of N queries at fixed 2.5% query selectivity against lazy and the
+best eager approach per query type.  Shapes to hold: lazy wins clearly at
+low workload selectivity; the eager curves are flat; increasing the query
+count benefits eager and narrows lazy's advantage on small scale factors.
+"""
+
+from conftest import run_once
+
+from repro.bench import run_fig9
+
+
+def test_fig9_workloads(benchmark, ctx):
+    table = run_once(benchmark, lambda: run_fig9(ctx))
+    table.emit("fig9_workload.txt")
+    expected_cells = (
+        len(ctx.profile.fig9_query_types)
+        * len(ctx.profile.fig9_scale_factors)
+        * 2  # lazy + best eager
+        * len(ctx.profile.fig9_num_queries)
+        * len(ctx.profile.fig9_selectivities)
+    )
+    assert len(table.rows) == expected_cells

@@ -1,0 +1,24 @@
+"""Table II — INGV dataset characteristics per scale factor.
+
+Regenerates the rows of the paper's Table II (files / segments / data
+records for sf-1..sf-27) from the synthetic repositories, alongside the
+paper's own numbers for comparison.
+"""
+
+from conftest import run_once
+
+from repro.bench import run_table2
+
+
+def test_table2_dataset(benchmark, ctx):
+    table = run_once(benchmark, lambda: run_table2(ctx))
+    table.emit("table2_dataset.txt")
+    assert len(table.rows) == len(ctx.profile.scale_factors)
+    # Structural invariants of Table II: files = 4 stations x days and
+    # monotone growth across scale factors.
+    files = [row[1] for row in table.rows]
+    segments = [row[2] for row in table.rows]
+    samples = [row[3] for row in table.rows]
+    assert files == sorted(files)
+    assert segments == sorted(segments)
+    assert samples == sorted(samples)

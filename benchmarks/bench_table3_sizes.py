@@ -1,0 +1,25 @@
+"""Table III — dataset size characteristics.
+
+Regenerates the size columns of the paper's Table III: raw repository
+(mSEED), CSV blow-up, database after plain load, index overhead (+keys),
+and the metadata-only footprint of Lazy.  The shape to hold:
+CSV ≫ DB > mSEED ≫ Lazy.
+"""
+
+from conftest import run_once
+
+from repro.bench import run_table3
+
+
+def test_table3_sizes(benchmark, ctx):
+    table = run_once(benchmark, lambda: run_table3(ctx))
+    table.emit("table3_sizes.txt")
+    assert len(table.rows) == len(ctx.profile.scale_factors)
+    # Verify the ordering claim on the raw reports (bytes, not strings).
+    for sf in ctx.profile.scale_factors:
+        csv_report = ctx.prepared("eager_csv", sf).report
+        lazy_report = ctx.prepared("lazy", sf).report
+        assert csv_report.csv_bytes > csv_report.db_bytes / 2
+        assert csv_report.csv_bytes > csv_report.repo_bytes
+        assert csv_report.db_bytes > csv_report.repo_bytes
+        assert lazy_report.metadata_bytes < csv_report.repo_bytes / 10

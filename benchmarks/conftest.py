@@ -1,0 +1,23 @@
+"""Shared benchmark session state.
+
+One :class:`ExperimentContext` per session: repositories are built once
+under ``REPRO_BENCH_DATA`` (a temp dir by default) and prepared databases
+are cached across benchmark files.  Profile selection:
+``REPRO_BENCH_PROFILE`` = quick (default) / small / paper.
+"""
+
+import pytest
+
+from repro.bench import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    context = ExperimentContext()
+    yield context
+    context.close()
+
+
+def run_once(benchmark, fn):
+    """Run a whole-experiment benchmark exactly once and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

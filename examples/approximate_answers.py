@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Approximate query answering over chunk samples (paper Section VIII).
+
+When a query selects many chunks, lazy loading shifts a large cost to query
+time.  The sampler runs stage one exactly (metadata is cheap), loads only a
+fraction of the required chunks, and estimates the aggregates with
+standard errors — trading accuracy for latency, as the paper's future-work
+section proposes.
+
+Run:  python examples/approximate_answers.py
+"""
+
+import tempfile
+import time
+
+from repro import SommelierDB
+from repro.data import SCALE_TEST, build_or_reuse
+from repro.data.ingv import EPOCH_2010_MS
+from repro.workloads import QueryParams, t4_query
+
+MILLIS_PER_DAY = 24 * 3600 * 1000
+
+
+def main() -> None:
+    base = tempfile.mkdtemp(prefix="repro-approx-")
+    # FIAM-only repository, sf-9: plenty of chunks for one station.
+    repository, stats = build_or_reuse(
+        base, scale_factor=9, scale=SCALE_TEST, fiam_only=True
+    )
+    db = SommelierDB.create()
+    db.register_repository(repository)
+    print(f"repository: {stats.num_files} chunks from station FIAM\n")
+
+    # A query over the entire time span — every chunk is relevant.
+    sql = t4_query(
+        QueryParams(
+            station="FIAM",
+            channel="HHZ",
+            start_ms=EPOCH_2010_MS,
+            end_ms=EPOCH_2010_MS + 400 * MILLIS_PER_DAY,
+        )
+    )
+
+    started = time.perf_counter()
+    exact = db.query(sql)
+    exact_seconds = time.perf_counter() - started
+    exact_row = exact.table.to_dicts()[0]
+    print(
+        f"exact answer:  avg={exact_row['avg_value']:.3f} "
+        f"n={exact_row['n_samples']:,} "
+        f"({exact_seconds * 1000:.0f}ms, "
+        f"{exact.stats.chunks_loaded} chunks loaded)"
+    )
+
+    for fraction in (0.5, 0.25, 0.1):
+        db.drop_caches()  # make the sample pay its own loading costs
+        started = time.perf_counter()
+        approx = db.approximate_query(sql, fraction=fraction)
+        seconds = time.perf_counter() - started
+        avg = approx.estimate_by_name("avg_value")
+        count = approx.estimate_by_name("n_samples")
+        stderr = f"±{avg.standard_error:.3f}" if avg.standard_error else ""
+        print(
+            f"sample {fraction:>4.0%}:  avg={avg.estimate:.3f}{stderr} "
+            f"n≈{count.estimate:,.0f} "
+            f"({seconds * 1000:.0f}ms, {approx.chunks_sampled}/"
+            f"{approx.chunks_total} chunks)"
+        )
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

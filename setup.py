@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` on
+environments without the ``wheel`` package (the PEP 660 editable path needs
+``bdist_wheel``).  Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,121 @@
+"""Benchmark profiles: how much of the paper's parameter space to sweep.
+
+The paper ran on a 32-thread Xeon with 256 GB RAM against up to 1.2 TB of
+mSEED; a laptop reproduction needs knobs.  Three profiles:
+
+* ``quick`` (default) — minutes-scale; coarse selectivity grids, smaller
+  repositories.  Shapes are already visible.
+* ``small`` — the paper's full selectivity grids at reduced data volume.
+* ``paper`` — paper-exact file counts (160/484/1464/4384 chunks); hours.
+
+Selected via the ``REPRO_BENCH_PROFILE`` environment variable.
+
+The buffer-pool budget is sized so that the eager database's actual-data
+table fits in the pool for sf-1/sf-3 but not for sf-9/sf-27, reproducing
+the paper's memory cliff at the same relative position.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..data.ingv import RepoScale
+
+__all__ = ["BenchProfile", "PROFILES", "active_profile", "BENCH_SCALES"]
+
+# Scale names embed the parameters so on-disk repository caches are keyed
+# correctly when presets change.
+BENCH_SCALES = {
+    "quick": RepoScale("bq-d20-s17k", day_divisor=20, samples_per_day=17280,
+                       min_segments=4, max_segments=8),
+    "small": RepoScale("bs-d10-s17k", day_divisor=10, samples_per_day=17280,
+                       min_segments=4, max_segments=8),
+    "paper": RepoScale("bp-d1-s86k", day_divisor=1, samples_per_day=86400,
+                       min_segments=8, max_segments=16),
+}
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """One sweep configuration."""
+
+    name: str
+    scale: RepoScale
+    scale_factors: tuple[int, ...]
+    buffer_pool_bytes: int
+    recycler_bytes: int
+    query_runs: int  # cold/hot averaging runs (paper: 3)
+    fig7_approaches: tuple[str, ...]
+    fig8_selectivities: tuple[float, ...]
+    fig8_scale_factors: tuple[int, ...]
+    fig8_query_types: tuple[str, ...]
+    fig9_selectivities: tuple[float, ...]
+    fig9_num_queries: tuple[int, ...]
+    fig9_scale_factors: tuple[int, ...]
+    fig9_query_types: tuple[str, ...]
+    fig9_query_selectivity: float = 0.025  # paper: fixed 2.5%
+
+
+PROFILES = {
+    "quick": BenchProfile(
+        name="quick",
+        scale=BENCH_SCALES["quick"],
+        scale_factors=(1, 3, 9, 27),
+        buffer_pool_bytes=12 * 1024 * 1024,
+        recycler_bytes=1 << 30,
+        query_runs=2,
+        fig7_approaches=("eager_plain", "eager_index", "eager_dmd", "lazy"),
+        fig8_selectivities=(0.0, 0.2, 0.6, 1.0),
+        fig8_scale_factors=(1, 27),
+        fig8_query_types=("T4", "T5"),
+        fig9_selectivities=(0.0, 0.2, 0.6, 1.0),
+        fig9_num_queries=(25, 50),
+        fig9_scale_factors=(1, 27),
+        fig9_query_types=("T3", "T4"),
+    ),
+    "small": BenchProfile(
+        name="small",
+        scale=BENCH_SCALES["small"],
+        scale_factors=(1, 3, 9, 27),
+        buffer_pool_bytes=24 * 1024 * 1024,
+        recycler_bytes=1 << 30,
+        query_runs=3,
+        fig7_approaches=("eager_plain", "eager_index", "eager_dmd", "lazy"),
+        fig8_selectivities=(0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+        fig8_scale_factors=(1, 27),
+        fig8_query_types=("T4", "T5"),
+        fig9_selectivities=(0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+        fig9_num_queries=(100, 200),
+        fig9_scale_factors=(1, 27),
+        fig9_query_types=("T3", "T4"),
+    ),
+    "paper": BenchProfile(
+        name="paper",
+        scale=BENCH_SCALES["paper"],
+        scale_factors=(1, 3, 9, 27),
+        buffer_pool_bytes=256 * 1024 * 1024,
+        recycler_bytes=2 << 30,
+        query_runs=3,
+        fig7_approaches=("eager_plain", "eager_index", "eager_dmd", "lazy"),
+        fig8_selectivities=(0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+        fig8_scale_factors=(1, 27),
+        fig8_query_types=("T4", "T5"),
+        fig9_selectivities=(0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+        fig9_num_queries=(100, 200),
+        fig9_scale_factors=(1, 27),
+        fig9_query_types=("T3", "T4"),
+    ),
+}
+
+
+def active_profile() -> BenchProfile:
+    """The profile named by REPRO_BENCH_PROFILE (default: quick)."""
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown REPRO_BENCH_PROFILE {name!r}; "
+            f"choose from {sorted(PROFILES)}"
+        ) from None

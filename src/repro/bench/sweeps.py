@@ -1,0 +1,155 @@
+"""Selectivity-sweep experiments: Figures 8 and 9 (Sections VI-D, VI-E).
+
+Both use the FIAM dataset — the single-station repository whose data is
+uniformly distributed over its time span, so a time-range predicate's
+selectivity is proportional to the range length.
+"""
+
+from __future__ import annotations
+
+from ..core.sommelier import SommelierDB
+from ..workloads.generator import WorkloadSpec, generate_workload, selectivity_range
+from ..workloads.queries import QUERY_BUILDERS, QueryParams
+from .experiments import ExperimentContext, T5_MAX_VAL, T5_STD_DEV
+from .reporting import ReportTable, format_seconds
+from .timing import time_call
+
+__all__ = ["run_fig8", "run_fig9", "FIG8_APPROACHES"]
+
+FIG8_APPROACHES = ("eager_dmd", "eager_index", "eager_plain", "lazy")
+
+# Paper (Fig. 9): per query type, lazy is compared against the best of the
+# three eager approaches for that type.
+BEST_EAGER_FOR = {"T2": "eager_dmd", "T3": "eager_dmd", "T4": "eager_index",
+                  "T5": "eager_dmd"}
+
+
+def _fiam_query(query_type: str, start_ms: int, end_ms: int) -> str:
+    builder = QUERY_BUILDERS[query_type]
+    return builder(
+        QueryParams(
+            station="FIAM",
+            channel="HHZ",
+            start_ms=start_ms,
+            end_ms=end_ms,
+            max_val_threshold=T5_MAX_VAL,
+            std_dev_threshold=T5_STD_DEV,
+        )
+    )
+
+
+def _reset_to_post_preparation(db: SommelierDB, approach: str) -> None:
+    """Restore a cached database to its state right after preparation."""
+    db.drop_caches()
+    if approach != "eager_dmd":
+        db.reset_derived_metadata()
+
+
+def run_fig8(ctx: ExperimentContext) -> ReportTable:
+    """Figure 8: data-to-insight time vs query selectivity.
+
+    Data-to-insight = preparation time + first query time.  The 0% point is
+    preparation alone.  Measured on the FIAM dataset at the profile's
+    fig8 scale factors, for T4 and T5 (T2/T3 mirror T5 per the paper).
+    """
+    table = ReportTable(
+        f"Figure 8 — data-to-insight vs query selectivity "
+        f"(profile={ctx.profile.name}, FIAM dataset)",
+        ["query", "sf", "approach", "selectivity", "prep", "first query",
+         "data-to-insight"],
+    )
+    for query_type in ctx.profile.fig8_query_types:
+        for sf in ctx.profile.fig8_scale_factors:
+            span = ctx.span(sf)
+            for approach in FIG8_APPROACHES:
+                entry = ctx.prepared(approach, sf, fiam_only=True)
+                prep_seconds = entry.report.total_seconds
+                for selectivity in ctx.profile.fig8_selectivities:
+                    if selectivity == 0.0:
+                        table.add_row(
+                            query_type, f"sf-{sf}", approach, "0%",
+                            format_seconds(prep_seconds), "-",
+                            format_seconds(prep_seconds),
+                        )
+                        continue
+                    start, end = selectivity_range(span, selectivity)
+                    sql = _fiam_query(query_type, start, end)
+                    _reset_to_post_preparation(entry.db, approach)
+                    first_query = time_call(lambda: entry.db.query(sql))
+                    table.add_row(
+                        query_type,
+                        f"sf-{sf}",
+                        approach,
+                        f"{selectivity:.0%}",
+                        format_seconds(prep_seconds),
+                        format_seconds(first_query),
+                        format_seconds(prep_seconds + first_query),
+                    )
+    table.add_note(
+        "shapes to hold: lazy grows with selectivity yet stays below "
+        "eager_index/eager_dmd even at 100%; eager curves are flat in "
+        "selectivity (their cost is the preparation)"
+    )
+    return table
+
+
+def run_fig9(ctx: ExperimentContext) -> ReportTable:
+    """Figure 9: cumulative workload time vs workload selectivity.
+
+    Workloads of N queries with fixed 2.5% query selectivity, uniformly
+    placed over the leading ``workload selectivity`` fraction of the data
+    span.  Lazy is compared against the best eager approach per query type;
+    cumulative time includes preparation (the paper's 0% point).
+    """
+    table = ReportTable(
+        f"Figure 9 — workload performance (profile={ctx.profile.name}, "
+        "FIAM dataset)",
+        ["query", "sf", "approach", "workload sel", "#queries", "prep",
+         "queries", "cumulative"],
+    )
+    for query_type in ctx.profile.fig9_query_types:
+        approaches = ("lazy", BEST_EAGER_FOR[query_type])
+        for sf in ctx.profile.fig9_scale_factors:
+            span = ctx.span(sf)
+            for approach in approaches:
+                entry = ctx.prepared(approach, sf, fiam_only=True)
+                prep_seconds = entry.report.total_seconds
+                for num_queries in ctx.profile.fig9_num_queries:
+                    for selectivity in ctx.profile.fig9_selectivities:
+                        if selectivity == 0.0:
+                            table.add_row(
+                                query_type, f"sf-{sf}", approach, "0%",
+                                num_queries, format_seconds(prep_seconds),
+                                "-", format_seconds(prep_seconds),
+                            )
+                            continue
+                        spec = WorkloadSpec(
+                            query_type=query_type,
+                            num_queries=num_queries,
+                            query_selectivity=min(
+                                ctx.profile.fig9_query_selectivity,
+                                selectivity,
+                            ),
+                            workload_selectivity=selectivity,
+                        )
+                        queries = generate_workload(spec, span)
+                        _reset_to_post_preparation(entry.db, approach)
+                        total = 0.0
+                        for sql in queries:
+                            total += time_call(lambda: entry.db.query(sql))
+                        table.add_row(
+                            query_type,
+                            f"sf-{sf}",
+                            approach,
+                            f"{selectivity:.0%}",
+                            num_queries,
+                            format_seconds(prep_seconds),
+                            format_seconds(total),
+                            format_seconds(prep_seconds + total),
+                        )
+    table.add_note(
+        "shapes to hold: lazy wins clearly at low workload selectivity "
+        "(~5x at 20% on the largest sf); eager flat in selectivity; more "
+        "queries narrow lazy's advantage on small scale factors"
+    )
+    return table

@@ -1,0 +1,56 @@
+"""Timing protocol helpers for the evaluation harness.
+
+The paper reports, per query, a *cold* upper bound ("right after restarting
+the server with all buffers flushed") and a *hot* lower bound ("with all
+buffers pre-loaded by running the same query multiple times"), each averaged
+over three runs (Section VI-A).  :func:`measure_cold_hot` reproduces that
+protocol against a :class:`~repro.core.sommelier.SommelierDB`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.sommelier import SommelierDB
+
+__all__ = ["ColdHotTiming", "measure_cold_hot", "time_call"]
+
+PAPER_RUNS = 3
+
+
+@dataclass(frozen=True)
+class ColdHotTiming:
+    """Cold and hot seconds for one query on one prepared database."""
+
+    cold_seconds: float
+    hot_seconds: float
+
+
+def time_call(fn: Callable[[], object]) -> float:
+    """Wall-clock one call."""
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def measure_cold_hot(
+    db: SommelierDB, sql: str, runs: int = PAPER_RUNS
+) -> ColdHotTiming:
+    """The paper's protocol: cold = after cache flush; hot = repeated runs.
+
+    Cold runs flush the buffer pool and the recycler before each
+    measurement; the derived-metadata view is *not* reset (its state is
+    part of the database, like in the paper).  Hot times average the last
+    ``runs`` of ``runs + 1`` back-to-back executions.
+    """
+    cold_total = 0.0
+    for _ in range(runs):
+        db.drop_caches()
+        cold_total += time_call(lambda: db.query(sql))
+    db.query(sql)  # warm up once more
+    hot_total = 0.0
+    for _ in range(runs):
+        hot_total += time_call(lambda: db.query(sql))
+    return ColdHotTiming(cold_total / runs, hot_total / runs)

@@ -1,0 +1,198 @@
+"""Command-line interface: build datasets, run queries, regenerate figures.
+
+Usage::
+
+    python -m repro build --base /tmp/data --sf 3 --scale test
+    python -m repro query --base /tmp/data --sf 3 --scale test \
+        --sql "SELECT COUNT(*) AS n FROM gmdview" [--approach lazy] [--explain]
+    python -m repro bench --experiment fig6 [--profile quick]
+    python -m repro inspect --base /tmp/data --sf 3 --scale test
+
+The CLI wraps the same public API the examples use; it exists so a
+downstream user can poke at a repository without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import (
+    ExperimentContext,
+    PROFILES,
+    run_ablation_chunk_access,
+    run_ablation_recycler,
+    run_ablation_rules,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table2,
+    run_table3,
+)
+from .core.loading import APPROACHES, prepare
+from .data import SCALE_PAPER, SCALE_SMALL, SCALE_TEST, build_or_reuse
+from .mseed.repository import FileRepository
+
+__all__ = ["main", "build_parser"]
+
+SCALES = {"test": SCALE_TEST, "small": SCALE_SMALL, "paper": SCALE_PAPER}
+
+EXPERIMENTS = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "ablation-rules": run_ablation_rules,
+    "ablation-recycler": run_ablation_recycler,
+    "ablation-chunk-access": run_ablation_chunk_access,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The DBMS - your Big Data Sommelier (ICDE'15 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="build a synthetic repository")
+    _add_dataset_args(build)
+
+    inspect = commands.add_parser(
+        "inspect", help="list a repository's chunks and sizes"
+    )
+    _add_dataset_args(inspect)
+
+    query = commands.add_parser("query", help="run SQL against a repository")
+    _add_dataset_args(query)
+    query.add_argument("--sql", required=True, help="the SELECT statement")
+    query.add_argument(
+        "--approach",
+        default="lazy",
+        choices=sorted(APPROACHES),
+        help="loading approach to prepare the database with",
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the compiled plan instead of executing",
+    )
+    query.add_argument(
+        "--limit", type=int, default=20, help="max rows to print"
+    )
+
+    bench = commands.add_parser(
+        "bench", help="regenerate one of the paper's tables/figures"
+    )
+    bench.add_argument(
+        "--experiment", required=True, choices=sorted(EXPERIMENTS)
+    )
+    bench.add_argument(
+        "--profile", default="quick", choices=sorted(PROFILES)
+    )
+    bench.add_argument(
+        "--base", default=None, help="dataset cache directory"
+    )
+    return parser
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--base", required=True, help="dataset directory")
+    parser.add_argument(
+        "--sf", type=int, default=1, choices=(1, 3, 9, 27),
+        help="scale factor",
+    )
+    parser.add_argument(
+        "--scale", default="test", choices=sorted(SCALES),
+        help="repository scale preset",
+    )
+    parser.add_argument(
+        "--fiam", action="store_true", help="single-station FIAM dataset"
+    )
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    repository, stats = build_or_reuse(
+        args.base, args.sf, SCALES[args.scale], args.fiam
+    )
+    print(
+        f"repository at {repository.root}: {stats.num_files} files, "
+        f"{stats.num_segments} segments, {stats.num_samples:,} samples, "
+        f"{stats.repo_bytes:,} bytes"
+    )
+    return 0
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    repository, _ = build_or_reuse(
+        args.base, args.sf, SCALES[args.scale], args.fiam
+    )
+    chunks = repository.list_chunks()
+    for chunk in chunks[:20]:
+        print(f"{chunk.size_bytes:>10,}  {chunk.uri}")
+    if len(chunks) > 20:
+        print(f"... and {len(chunks) - 20} more chunks")
+    print(f"total: {len(chunks)} chunks, {repository.total_bytes():,} bytes")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    repository, _ = build_or_reuse(
+        args.base, args.sf, SCALES[args.scale], args.fiam
+    )
+    db, report = prepare(args.approach, repository)
+    try:
+        print(
+            f"prepared with {args.approach} in {report.total_seconds:.3f}s "
+            f"({', '.join(f'{k}={v:.3f}s' for k, v in report.seconds.items())})"
+        )
+        if args.explain:
+            print(db.explain(args.sql))
+            return 0
+        result = db.query(args.sql)
+        for row in result.table.to_dicts()[: args.limit]:
+            print(row)
+        if result.table.num_rows > args.limit:
+            print(f"... {result.table.num_rows - args.limit} more rows")
+        print(
+            f"[{result.seconds * 1000:.1f}ms, "
+            f"{result.stats.chunks_loaded} chunk(s) loaded, "
+            f"{result.stats.chunks_from_cache} from cache]"
+        )
+        return 0
+    finally:
+        db.close()
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    import os
+
+    os.environ["REPRO_BENCH_PROFILE"] = args.profile
+    ctx = ExperimentContext(base_dir=args.base)
+    try:
+        table = EXPERIMENTS[args.experiment](ctx)
+        path = table.emit(f"{args.experiment.replace('-', '_')}.txt")
+        print(f"\nsaved to {path}")
+        return 0
+    finally:
+        ctx.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "build": _command_build,
+        "inspect": _command_inspect,
+        "query": _command_query,
+        "bench": _command_bench,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Query-type classification per the paper's Table I.
+
+Queries are typed by which kinds of data they refer to::
+
+    T1: GMd                 T2: DMd                T3: DMd & GMd
+    T4: GMd & AD            T5: DMd & GMd & AD
+
+("only AD" and "DMd & AD" are excluded by assumption — Section II-B: actual
+data is always referred to together with given metadata.)
+
+Classification runs over a *bound* plan: the base tables in its subtree are
+looked up in the catalog and bucketed by :class:`TableKind`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..engine import algebra
+from ..engine.catalog import Catalog, TableKind
+
+__all__ = ["QueryType", "classify_plan", "references_derived_metadata"]
+
+
+class QueryType(enum.Enum):
+    T1 = "T1"  # GMd only
+    T2 = "T2"  # DMd only
+    T3 = "T3"  # DMd & GMd
+    T4 = "T4"  # GMd & AD
+    T5 = "T5"  # DMd & GMd & AD
+    AD_ONLY = "AD"  # outside the paper's focus (Section II-B)
+    DMD_AD = "DMd&AD"  # outside the paper's focus
+
+    @property
+    def refers_to_derived(self) -> bool:
+        return self in (QueryType.T2, QueryType.T3, QueryType.T5,
+                        QueryType.DMD_AD)
+
+    @property
+    def refers_to_actual(self) -> bool:
+        return self in (QueryType.T4, QueryType.T5, QueryType.AD_ONLY,
+                        QueryType.DMD_AD)
+
+
+def classify_plan(plan: algebra.LogicalPlan, catalog: Catalog) -> QueryType:
+    """Determine the Table-I type of a bound plan."""
+    kinds: set[TableKind] = set()
+    for table_name in plan.base_tables():
+        if catalog.has_table(table_name):
+            kinds.add(catalog.table(table_name).kind)
+    has_gmd = TableKind.METADATA in kinds
+    has_dmd = TableKind.DERIVED in kinds
+    has_ad = TableKind.ACTUAL in kinds
+    if has_ad and has_dmd and has_gmd:
+        return QueryType.T5
+    if has_ad and has_gmd:
+        return QueryType.T4
+    if has_ad and has_dmd:
+        return QueryType.DMD_AD
+    if has_ad:
+        return QueryType.AD_ONLY
+    if has_dmd and has_gmd:
+        return QueryType.T3
+    if has_dmd:
+        return QueryType.T2
+    return QueryType.T1
+
+
+def references_derived_metadata(
+    plan: algebra.LogicalPlan, catalog: Catalog
+) -> bool:
+    """Algorithm 1, Step 1: does the query refer to any DMd table?"""
+    return classify_plan(plan, catalog).refers_to_derived

@@ -1,0 +1,242 @@
+"""Run-time query optimization: rewrite rule (1) of the paper.
+
+Between the two execution stages, every access to an actual-data table is
+rewritten using the stage-one result::
+
+    scan(a)  →  ∪_{f ∈ result-scan(Qf)}  cache-scan(f)    if f ∈ C
+                                          chunk-access(f)  otherwise
+
+where ``C`` is the set of chunks currently cached by the Recycler.  When a
+selection sits directly on the scan, it is pushed into the per-chunk
+accesses (the paper's second rewrite rule) — for cache-scans as a selection
+above, for chunk-accesses as a pushed predicate evaluated right after
+ingestion (the chunk itself is cached unfiltered so later queries with
+different predicates still benefit).
+
+The rewrite happens inside the MAL program: the Run-time Optimizer locates
+the pending ``EvalPlan`` instructions and replaces the relevant plan
+subtrees; with ``parallel_threads > 1`` it additionally injects a
+:class:`~repro.engine.mal.LoadChunks` statement so chunks load in parallel
+before stage two resumes (Section V-3's per-file parallelization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine import algebra
+from ..engine.database import Database
+from ..engine.errors import ExecutionError
+from ..engine.mal import EvalPlan, LoadChunks, MalProgram
+from ..engine.physical import ExecutionContext
+from .schema import SommelierConfig
+
+__all__ = ["RewriteReport", "make_runtime_optimizer", "rewrite_actual_scans"]
+
+
+@dataclass
+class RewriteReport:
+    """What the run-time optimizer decided (inspectable by tests/benches)."""
+
+    required_uris: list[str] = field(default_factory=list)
+    cached_uris: list[str] = field(default_factory=list)
+    loaded_uris: list[str] = field(default_factory=list)
+    rewrote_scans: int = 0
+    used_all_chunks_fallback: bool = False
+    # perf_counter() timestamp at which stage one handed over control —
+    # the stage boundary used for the paper's stage-time breakdowns.
+    stage_boundary_perf: float | None = None
+
+
+def _tail_scans_actual_tables(
+    program: MalProgram, next_pc: int, config: SommelierConfig
+) -> bool:
+    """Does any pending EvalPlan scan an actual-data table?"""
+    actual = set(config.actual_tables)
+
+    def plan_has_actual_scan(node: algebra.LogicalPlan) -> bool:
+        if isinstance(node, algebra.Scan) and node.table_name in actual:
+            return True
+        return any(plan_has_actual_scan(c) for c in node.children())
+
+    return any(
+        isinstance(instruction, EvalPlan)
+        and plan_has_actual_scan(instruction.plan)
+        for instruction in program.instructions[next_pc:]
+    )
+
+
+def _required_uris(
+    ctx: ExecutionContext,
+    input_var: str,
+    config: SommelierConfig,
+    report: RewriteReport,
+) -> list[str]:
+    """Distinct chunk URIs named by the stage-one result.
+
+    Falls back to *every* registered chunk when the metadata branch did not
+    expose the URI column — the paper's only-AD case where "there is no
+    alternative to paying the price for loading all AD anyway".
+    """
+    stage_one = ctx.stage_results[input_var]
+    if stage_one.schema.has(config.uri_column):
+        uris = sorted(set(stage_one.column(config.uri_column).to_list()))
+    else:
+        loader = ctx.database.chunk_loader
+        known = getattr(loader, "_file_ids", None)
+        if known is None:
+            raise ExecutionError(
+                "stage one lacks the chunk URI column and the chunk loader "
+                "cannot enumerate chunks"
+            )
+        uris = sorted(known)
+        report.used_all_chunks_fallback = True
+    report.required_uris = list(uris)
+    return uris
+
+
+def rewrite_actual_scans(
+    plan: algebra.LogicalPlan,
+    database: Database,
+    config: SommelierConfig,
+    uris: list[str],
+    report: RewriteReport,
+    push_selections: bool = True,
+    force_cache_scan: bool = False,
+) -> algebra.LogicalPlan:
+    """Replace scans of actual-data tables by per-chunk access unions.
+
+    ``force_cache_scan`` emits cache-scans for every chunk (used together
+    with a preceding LoadChunks statement that warms the recycler; a
+    cache-scan degrades to a chunk-access on a miss, so semantics never
+    depend on cache state).
+    """
+    actual = set(config.actual_tables)
+    cached = database.recycler.cached_uris()
+
+    def make_access(uri: str, scan: algebra.Scan,
+                    predicate) -> algebra.LogicalPlan:
+        use_cache = force_cache_scan or uri in cached
+        if use_cache:
+            access: algebra.LogicalPlan = algebra.CacheScan(
+                uri, scan.table_name, scan.schema
+            )
+            if predicate is not None:
+                access = algebra.Select(access, predicate)
+            return access
+        return algebra.ChunkAccess(
+            uri, scan.table_name, scan.schema, pushed_predicate=predicate
+        )
+
+    def transform(node: algebra.LogicalPlan) -> algebra.LogicalPlan:
+        if (
+            isinstance(node, algebra.Select)
+            and isinstance(node.child, algebra.Scan)
+            and node.child.table_name in actual
+        ):
+            report.rewrote_scans += 1
+            if not uris:
+                return node  # base table is empty in lazy mode: 0 rows
+            predicate = node.predicate if push_selections else None
+            union = algebra.Union(
+                [make_access(uri, node.child, predicate) for uri in uris]
+            )
+            if not push_selections:
+                return algebra.Select(union, node.predicate)
+            return union
+        if isinstance(node, algebra.Scan) and node.table_name in actual:
+            report.rewrote_scans += 1
+            if not uris:
+                return node
+            return algebra.Union(
+                [make_access(uri, node, None) for uri in uris]
+            )
+        return _rebuild(node, transform)
+
+    return transform(plan)
+
+
+def _rebuild(node: algebra.LogicalPlan, transform) -> algebra.LogicalPlan:
+    if isinstance(node, algebra.Select):
+        return algebra.Select(transform(node.child), node.predicate)
+    if isinstance(node, algebra.Project):
+        return algebra.Project(transform(node.child), node.outputs)
+    if isinstance(node, algebra.Join):
+        return algebra.Join(
+            transform(node.left), transform(node.right), node.condition
+        )
+    if isinstance(node, algebra.Aggregate):
+        return algebra.Aggregate(
+            transform(node.child), node.group_by, node.aggregates
+        )
+    if isinstance(node, algebra.Union):
+        return algebra.Union([transform(c) for c in node.children()])
+    if isinstance(node, algebra.Sort):
+        return algebra.Sort(transform(node.child), node.keys)
+    if isinstance(node, algebra.Limit):
+        return algebra.Limit(transform(node.child), node.count)
+    if isinstance(node, algebra.Distinct):
+        return algebra.Distinct(transform(node.child))
+    return node
+
+
+def make_runtime_optimizer(
+    database: Database,
+    config: SommelierConfig,
+    report: RewriteReport,
+    parallel_threads: int = 1,
+    push_selections: bool = True,
+):
+    """Build the callback installed into ``CallRuntimeOptimizer``."""
+
+    def runtime_optimize(
+        ctx: ExecutionContext, program: MalProgram, next_pc: int
+    ) -> None:
+        import time
+
+        report.stage_boundary_perf = time.perf_counter()
+        # A metadata-only query (T1/T2/T3) has no actual-data scans left in
+        # the program tail: nothing to rewrite, nothing to load.
+        if not _tail_scans_actual_tables(program, next_pc, config):
+            return
+        call = program.instructions[next_pc - 1]
+        input_var = getattr(call, "input_var", "qf")
+        uris = _required_uris(ctx, input_var, config, report)
+        cached = database.recycler.cached_uris()
+        report.cached_uris = sorted(set(uris) & cached)
+        missing = [uri for uri in uris if uri not in cached]
+        report.loaded_uris = list(missing)
+
+        # Pre-loading whole chunks in parallel defeats the in-situ accessor,
+        # which decodes sub-chunk ranges inside the ChunkAccess operator.
+        parallel = (
+            parallel_threads > 1
+            and len(missing) > 1
+            and database.chunk_access_strategy != "in_situ"
+        )
+        new_tail: list = []
+        if parallel and missing:
+            new_tail.append(
+                LoadChunks(
+                    uris=missing,
+                    table_name=config.actual_tables[0],
+                    threads=parallel_threads,
+                )
+            )
+        for instruction in program.instructions[next_pc:]:
+            if isinstance(instruction, EvalPlan):
+                rewritten = rewrite_actual_scans(
+                    instruction.plan,
+                    database,
+                    config,
+                    uris,
+                    report,
+                    push_selections=push_selections,
+                    force_cache_scan=parallel,
+                )
+                new_tail.append(EvalPlan(instruction.var, rewritten))
+            else:
+                new_tail.append(instruction)
+        program.replace_from(next_pc, new_tail)
+
+    return runtime_optimize

@@ -1,0 +1,208 @@
+"""SommelierDB — the public facade of the reproduced system.
+
+"A system that, like a good sommelier, stores the bottles (actual data) in
+the cellar (the file repository) but keeps the contents of the labels (the
+metadata) in his head" (Section I).
+
+A :class:`SommelierDB` wraps one engine :class:`~repro.engine.Database`
+prepared in either *lazy* or *eager* mode:
+
+* **lazy** — only given metadata is loaded (by the Registrar); queries run
+  the two-stage model with run-time chunk rewriting, and derived metadata
+  materializes incrementally via Algorithm 1;
+* **eager** — actual data is already in ``D`` (one of the eager loading
+  strategies put it there); queries run single-stage, still with the R1–R4
+  join ordering; Algorithm 1 still computes missing DMd windows on demand,
+  but over the in-database ``D``.
+
+Typical use::
+
+    db = SommelierDB.create()
+    db.register_repository(FileRepository("/data/ingv"))
+    result = db.query(\"\"\"
+        SELECT AVG(D.sample_value) FROM dataview
+        WHERE F.station = 'ISK' AND F.channel = 'BHE'
+          AND D.sample_time >= '2010-01-12T22:15:00.000'
+          AND D.sample_time <  '2010-01-12T22:15:02.000'
+    \"\"\")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine import algebra
+from ..engine.database import Database
+from ..engine.sql import bind_sql
+from ..mseed.repository import FileRepository
+from .partial_views import DerivationReport, PartialViewManager
+from .query_types import QueryType, classify_plan
+from .registrar import Registrar, RegistrarReport
+from .schema import SommelierConfig, create_seismology_schema
+from .two_stage import QueryResult, TwoStageCompiler, TwoStageOptions
+
+__all__ = ["SommelierDB"]
+
+
+@dataclass
+class SommelierStats:
+    """Cumulative facade-level counters."""
+
+    queries_executed: int = 0
+    derivations: int = 0
+    windows_materialized: int = 0
+    chunks_loaded_total: int = 0
+
+
+class SommelierDB:
+    """One prepared database instance (lazy or eager)."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: SommelierConfig,
+        lazy: bool = True,
+        options: TwoStageOptions = TwoStageOptions(),
+    ) -> None:
+        self.database = database
+        self.config = config
+        self.lazy = lazy
+        self.options = options
+        self.compiler = TwoStageCompiler(database, config, options)
+        self.views = PartialViewManager(database, config, self.compiler, lazy)
+        self.stats = SommelierStats()
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        workdir: str | None = None,
+        lazy: bool = True,
+        buffer_pool_bytes: int = 256 * 1024 * 1024,
+        recycler_bytes: int = 1 << 30,
+        recycler_policy: str = "lru",
+        options: TwoStageOptions = TwoStageOptions(),
+    ) -> "SommelierDB":
+        """A fresh database with the seismology warehouse schema installed."""
+        database = Database(
+            workdir=workdir,
+            buffer_pool_bytes=buffer_pool_bytes,
+            recycler_bytes=recycler_bytes,
+            recycler_policy=recycler_policy,
+        )
+        config = create_seismology_schema(database)
+        return cls(database, config, lazy=lazy, options=options)
+
+    def register_repository(
+        self, repository: FileRepository, threads: int = 8
+    ) -> RegistrarReport:
+        """Eagerly load the given metadata of every chunk (Registrar)."""
+        return Registrar(self.database, threads=threads).register(repository)
+
+    # -- querying ------------------------------------------------------------------
+
+    def bind(self, sql: str) -> algebra.LogicalPlan:
+        return bind_sql(sql, self.database)
+
+    def query_type(self, sql: str) -> QueryType:
+        return classify_plan(self.bind(sql), self.database.catalog)
+
+    def query(self, sql: str) -> QueryResult:
+        """Answer a SQL query; runs Algorithm 1 first when DMd is involved."""
+        plan = self.bind(sql)
+        derivation = self.views.ensure_for_query(plan)
+        if self.lazy:
+            result = self.compiler.execute_two_stage(plan)
+        else:
+            result = self.compiler.execute_single_stage(plan)
+        self._account(result, derivation)
+        result.seconds += derivation.seconds
+        return result
+
+    def query_with_derivation(
+        self, sql: str
+    ) -> tuple[QueryResult, DerivationReport]:
+        """Like :meth:`query` but also returns the Algorithm-1 report."""
+        plan = self.bind(sql)
+        derivation = self.views.ensure_for_query(plan)
+        if self.lazy:
+            result = self.compiler.execute_two_stage(plan)
+        else:
+            result = self.compiler.execute_single_stage(plan)
+        self._account(result, derivation)
+        result.seconds += derivation.seconds
+        return result, derivation
+
+    def _account(self, result: QueryResult, derivation: DerivationReport) -> None:
+        self.stats.queries_executed += 1
+        if derivation.applicable:
+            self.stats.derivations += 1
+            self.stats.windows_materialized += derivation.windows_inserted
+            self.stats.chunks_loaded_total += derivation.chunks_loaded
+        self.stats.chunks_loaded_total += result.stats.chunks_loaded
+
+    def approximate_query(
+        self, sql: str, fraction: float = 0.2, seed: int = 20150413
+    ):
+        """Estimate a scalar aggregate from a chunk sample (Section VIII).
+
+        Stage one runs exactly; only a ``fraction`` of the required chunks
+        is loaded.  Returns an
+        :class:`~repro.core.sampling.ApproximateResult`.
+        """
+        from .sampling import ChunkSampler
+
+        plan = self.bind(sql)
+        self.views.ensure_for_query(plan)
+        sampler = ChunkSampler(
+            self.database, self.config, self.compiler,
+            fraction=fraction, seed=seed,
+        )
+        return sampler.approximate_query(sql)
+
+    # -- inspection -----------------------------------------------------------------
+
+    def explain(self, sql: str) -> str:
+        """Compile-time view of a query: type, join order, MAL listing."""
+        plan = self.bind(sql)
+        query_type = classify_plan(plan, self.database.catalog)
+        if self.lazy:
+            compiled = self.compiler.compile(plan)
+            return (
+                f"query type: {query_type.value}\n"
+                f"join order: {' -> '.join(compiled.join_order)}\n"
+                f"two-stage: {compiled.two_stage}\n"
+                f"MAL program:\n{compiled.program.listing()}"
+            )
+        ordered, join_order = self.compiler.compile_single_stage(plan)
+        return (
+            f"query type: {query_type.value}\n"
+            f"join order: {' -> '.join(join_order)}\n"
+            "single-stage plan:\n" + ordered.pretty()
+        )
+
+    def drop_caches(self) -> None:
+        """Cold-start simulation (paper: restart server, flush buffers)."""
+        self.database.drop_caches()
+
+    def reset_derived_metadata(self) -> None:
+        """Truncate H and forget its materialization state.
+
+        Used by the data-to-insight experiments (Figure 8), where every
+        measurement point must start from the state right after preparation
+        — for non-eager_dmd databases that means an empty DMd view.
+        """
+        self.database.catalog.table("H").truncate()
+        self.views = PartialViewManager(
+            self.database, self.config, self.compiler, self.lazy
+        )
+
+    def close(self) -> None:
+        self.database.close()
+
+    def __enter__(self) -> "SommelierDB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,348 @@
+"""The two-stage query execution model (paper Section III).
+
+The Compile-time Optimizer here does what Section V-2 describes for
+MonetDB: it splits the query plan into ``Q = Qf ⋈ Qs`` — ``Qf`` being the
+highest branch whose leaves are all metadata tables — orders the joins with
+rules R1–R4, and emits a MAL program of the shape::
+
+    [00] qf     := eval(Qf)                 # stage one: metadata only
+    [01] call runtime-optimizer(qf)         # rewrite scan(a) per rule (1)
+    [02] result := eval(Qs)                 # stage two: lazy-loaded data
+    [03] return result
+
+It also performs *time-bound inference*: selection predicates on the
+actual-data time attribute imply bounds on segment metadata
+(``S.start_time`` / computed segment end), which is how stage one narrows
+the chunk set by time.
+
+For eagerly loaded databases the same join ordering is used but the plan
+runs in a single stage (no rewrite — the data is already in ``D``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..engine import algebra
+from ..engine.database import Database
+from ..engine.errors import PlanError
+from ..engine.expressions import (
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    conjoin,
+)
+from ..engine.join_graph import QueryGraph, build_query_graph
+from ..engine.mal import (
+    CallRuntimeOptimizer,
+    EvalPlan,
+    MalProgram,
+    ReturnValue,
+)
+from ..engine.optimizer import optimize as standard_optimize
+from ..engine.physical import (
+    ExecStats,
+    ExecutionContext,
+    drop_hidden_columns,
+    execute_plan,
+)
+from ..engine.table import Table
+from .coloring import ColoredGraph, OrderedJoin, RuleSet, order_joins
+from .runtime_rewrite import RewriteReport, make_runtime_optimizer
+from .schema import SommelierConfig
+
+__all__ = ["TwoStageOptions", "QueryResult", "CompiledQuery", "TwoStageCompiler"]
+
+_JOIN_BLOCK_NODES = (algebra.Scan, algebra.Select, algebra.Join)
+
+
+@dataclass(frozen=True)
+class TwoStageOptions:
+    """Knobs for the compile-time and run-time optimizers."""
+
+    rules: RuleSet = field(default_factory=RuleSet)
+    parallel_threads: int = 4
+    push_selections_into_chunks: bool = True
+    infer_time_bounds: bool = True
+
+
+@dataclass
+class QueryResult:
+    """A delivered query answer plus everything the experiments measure."""
+
+    table: Table
+    seconds: float
+    stage_one_seconds: float = 0.0
+    stage_two_seconds: float = 0.0
+    stats: ExecStats = field(default_factory=ExecStats)
+    rewrite: RewriteReport = field(default_factory=RewriteReport)
+    join_order: list[str] = field(default_factory=list)
+    two_stage: bool = False
+
+
+@dataclass
+class CompiledQuery:
+    """A compiled MAL program plus compile-time artifacts."""
+
+    program: MalProgram
+    qf_plan: algebra.LogicalPlan | None
+    qs_plan: algebra.LogicalPlan
+    rewrite: RewriteReport
+    join_order: list[str]
+    two_stage: bool
+
+
+def _is_join_block(plan: algebra.LogicalPlan) -> bool:
+    if not isinstance(plan, _JOIN_BLOCK_NODES):
+        return False
+    return all(_is_join_block(child) for child in plan.children())
+
+
+def _split_upper_chain(
+    plan: algebra.LogicalPlan,
+) -> tuple[Callable[[algebra.LogicalPlan], algebra.LogicalPlan], algebra.LogicalPlan]:
+    """Separate the pipeline operators above the join block.
+
+    Returns ``(rebuild, join_block)`` where ``rebuild(new_block)``
+    re-applies the upper operators over a replacement join block.
+    """
+    spine: list[algebra.LogicalPlan] = []
+    node = plan
+    while not _is_join_block(node):
+        children = node.children()
+        if len(children) != 1:
+            raise PlanError(
+                f"cannot split plan: {type(node).__name__} above the join "
+                "block is not unary"
+            )
+        spine.append(node)
+        node = children[0]
+
+    def rebuild(new_block: algebra.LogicalPlan) -> algebra.LogicalPlan:
+        current = new_block
+        for upper in reversed(spine):
+            if isinstance(upper, algebra.Project):
+                current = algebra.Project(current, upper.outputs)
+            elif isinstance(upper, algebra.Aggregate):
+                current = algebra.Aggregate(
+                    current, upper.group_by, upper.aggregates
+                )
+            elif isinstance(upper, algebra.Sort):
+                current = algebra.Sort(current, upper.keys)
+            elif isinstance(upper, algebra.Limit):
+                current = algebra.Limit(current, upper.count)
+            elif isinstance(upper, algebra.Distinct):
+                current = algebra.Distinct(current)
+            elif isinstance(upper, algebra.Select):
+                current = algebra.Select(current, upper.predicate)
+            else:
+                raise PlanError(
+                    f"unsupported upper-chain node {type(upper).__name__}"
+                )
+        return current
+
+    return rebuild, node
+
+
+def _infer_time_bound_predicates(
+    graph: QueryGraph, config: SommelierConfig
+) -> int:
+    """Add segment-span predicates implied by AD time predicates (R-extra).
+
+    Returns the number of predicates added.  Only literal bounds are
+    considered; both orientations (column op literal / literal op column)
+    are handled.
+    """
+    added = 0
+    for inference in config.time_inference:
+        target_table = inference.segment_start_column.split(".", 1)[0]
+        if target_table not in graph.vertices:
+            continue
+        sources: list[tuple[str, Expression]] = []
+        ad_table = inference.ad_time_column.split(".", 1)[0]
+        if ad_table in graph.vertices:
+            for predicate in graph.vertices[ad_table].predicates:
+                normalized = _normalize_bound(predicate, inference.ad_time_column)
+                if normalized is not None:
+                    sources.append(normalized)
+        for op, bound in sources:
+            implied = inference.infer(op, bound)
+            if implied is not None:
+                graph.add_predicate(implied)
+                added += 1
+    return added
+
+
+def _normalize_bound(
+    predicate: Expression, time_column: str
+) -> tuple[str, Expression] | None:
+    """Match ``time_column op literal`` (either orientation)."""
+    if not isinstance(predicate, Comparison):
+        return None
+    candidates = [predicate, predicate.flipped()]
+    for comparison in candidates:
+        if (
+            isinstance(comparison.left, ColumnRef)
+            and comparison.left.name == time_column
+            and isinstance(comparison.right, Literal)
+        ):
+            return comparison.op, comparison.right
+    return None
+
+
+class TwoStageCompiler:
+    """Compile-time optimizer producing two-stage MAL programs."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: SommelierConfig,
+        options: TwoStageOptions = TwoStageOptions(),
+    ) -> None:
+        self.database = database
+        self.config = config
+        self.options = options
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile(self, plan: algebra.LogicalPlan) -> CompiledQuery:
+        """Split, order and emit the MAL program for a bound plan."""
+        plan = standard_optimize(plan)
+        rebuild, join_block = _split_upper_chain(plan)
+        graph = build_query_graph(join_block)
+        if self.options.infer_time_bounds:
+            _infer_time_bound_predicates(graph, self.config)
+        red_tables = self.database.catalog.metadata_table_names()
+        colored = ColoredGraph(graph, red_tables)
+        ordered = order_joins(
+            colored, self.database.table_num_rows, self.options.rules
+        )
+
+        report = RewriteReport()
+        if not colored.black_vertices:
+            # Metadata-only query (T1/T2/T3): stage one answers everything,
+            # but we keep the uniform program shape — the runtime optimizer
+            # simply finds no actual-data scans to rewrite.
+            qf_plan = ordered.plan
+            qs_plan = rebuild(
+                algebra.ResultScan("qf", qf_plan.schema)
+            )
+        elif ordered.metadata_branch is None:
+            # AD-only query (outside the paper's focus, Section II-B): no
+            # metadata branch exists; stage one is a unit plan and the
+            # runtime optimizer falls back to loading every chunk.
+            qf_plan = algebra.EmptyRelation()
+            qs_plan = rebuild(ordered.plan)
+        else:
+            qf_plan = ordered.metadata_branch
+            qs_join = _replace_subtree(
+                ordered.plan,
+                ordered.metadata_branch,
+                algebra.ResultScan("qf", ordered.metadata_branch.schema),
+            )
+            qs_plan = rebuild(qs_join)
+
+        callback = make_runtime_optimizer(
+            self.database,
+            self.config,
+            report,
+            parallel_threads=self.options.parallel_threads,
+            push_selections=self.options.push_selections_into_chunks,
+        )
+        program = MalProgram(
+            [
+                EvalPlan("qf", qf_plan),
+                CallRuntimeOptimizer(callback, "qf"),
+                EvalPlan("result", qs_plan),
+                ReturnValue("result"),
+            ]
+        )
+        return CompiledQuery(
+            program=program,
+            qf_plan=qf_plan,
+            qs_plan=qs_plan,
+            rewrite=report,
+            join_order=ordered.join_order,
+            two_stage=bool(colored.black_vertices),
+        )
+
+    def compile_single_stage(
+        self, plan: algebra.LogicalPlan
+    ) -> tuple[algebra.LogicalPlan, list[str]]:
+        """Order joins with the same rules but keep one execution stage.
+
+        Used for eagerly loaded databases: the ordered plan scans ``D``
+        directly (it is populated), so no run-time rewrite happens.
+        """
+        plan = standard_optimize(plan)
+        rebuild, join_block = _split_upper_chain(plan)
+        graph = build_query_graph(join_block)
+        if self.options.infer_time_bounds:
+            _infer_time_bound_predicates(graph, self.config)
+        red_tables = self.database.catalog.metadata_table_names()
+        colored = ColoredGraph(graph, red_tables)
+        ordered = order_joins(
+            colored, self.database.table_num_rows, self.options.rules
+        )
+        return rebuild(ordered.plan), ordered.join_order
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute_two_stage(self, plan: algebra.LogicalPlan) -> QueryResult:
+        """Compile and run a query with lazy loading."""
+        compiled = self.compile(plan)
+        ctx = ExecutionContext(self.database)
+        started = time.perf_counter()
+        result = compiled.program.run(ctx)
+        elapsed = time.perf_counter() - started
+        boundary = compiled.rewrite.stage_boundary_perf
+        stage_one = (boundary - started) if boundary is not None else elapsed
+        return QueryResult(
+            table=drop_hidden_columns(result),
+            seconds=elapsed,
+            stage_one_seconds=stage_one,
+            stage_two_seconds=max(elapsed - stage_one, 0.0),
+            stats=ctx.stats,
+            rewrite=compiled.rewrite,
+            join_order=compiled.join_order,
+            two_stage=compiled.two_stage,
+        )
+
+    def execute_single_stage(self, plan: algebra.LogicalPlan) -> QueryResult:
+        """Run a query conventionally (eager databases)."""
+        ordered, join_order = self.compile_single_stage(plan)
+        ctx = ExecutionContext(self.database)
+        started = time.perf_counter()
+        result = execute_plan(ordered, ctx)
+        elapsed = time.perf_counter() - started
+        return QueryResult(
+            table=drop_hidden_columns(result),
+            seconds=elapsed,
+            stats=ctx.stats,
+            join_order=join_order,
+            two_stage=False,
+        )
+
+
+def _replace_subtree(
+    plan: algebra.LogicalPlan,
+    target: algebra.LogicalPlan,
+    replacement: algebra.LogicalPlan,
+) -> algebra.LogicalPlan:
+    """Rebuild ``plan`` with the (identity-matched) target swapped out."""
+    if plan is target:
+        return replacement
+    if isinstance(plan, algebra.Join):
+        return algebra.Join(
+            _replace_subtree(plan.left, target, replacement),
+            _replace_subtree(plan.right, target, replacement),
+            plan.condition,
+        )
+    if isinstance(plan, algebra.Select):
+        return algebra.Select(
+            _replace_subtree(plan.child, target, replacement), plan.predicate
+        )
+    return plan

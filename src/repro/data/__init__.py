@@ -1,0 +1,32 @@
+"""Synthetic dataset substrate: stations, waveforms, INGV-like repositories."""
+
+from .ingv import (
+    DAYS_PER_SF,
+    DatasetStats,
+    RepoScale,
+    SCALE_PAPER,
+    SCALE_SMALL,
+    SCALE_TEST,
+    build_or_reuse,
+    build_repository,
+)
+from .stations import DEFAULT_STATIONS, FIAM_ONLY, Station, station_by_code
+from .waveform import day_seed, generate_day, split_into_segments
+
+__all__ = [
+    "DAYS_PER_SF",
+    "DEFAULT_STATIONS",
+    "DatasetStats",
+    "FIAM_ONLY",
+    "RepoScale",
+    "SCALE_PAPER",
+    "SCALE_SMALL",
+    "SCALE_TEST",
+    "Station",
+    "build_or_reuse",
+    "build_repository",
+    "day_seed",
+    "generate_day",
+    "split_into_segments",
+    "station_by_code",
+]

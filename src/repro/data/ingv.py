@@ -1,0 +1,210 @@
+"""Builder for the synthetic INGV-like repositories (Table II datasets).
+
+The paper's datasets (Table II)::
+
+    sf     data of    files   segments      data records
+    sf-1   40 days      160       2009     1,273,454,901
+    sf-3   4 months     484       7802     3,929,151,193
+    sf-9   1 year      1464      12566    11,912,163,036
+    sf-27  3 years     4384      74526    33,683,711,338
+
+Structure: files = stations × days (4 stations).  We reproduce the exact
+day counts per scale factor (40 / 121 / 366 / 1096) and scale the samples
+per file down to laptop-feasible sizes through a :class:`RepoScale` preset
+(full paper volume would be ~34 G samples).  The *ratios* between scale
+factors — what the experiments depend on — are preserved exactly.
+
+The FIAM dataset (Section VI-D) spans the sf-27 day range but contains only
+station FIAM, giving uniformly distributed data for selectivity sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mseed.writer import SegmentData, write_volume
+from ..mseed.repository import FileRepository
+from . import waveform
+from .stations import DEFAULT_STATIONS, FIAM_ONLY, Station
+
+__all__ = [
+    "RepoScale",
+    "SCALE_TEST",
+    "SCALE_SMALL",
+    "SCALE_PAPER",
+    "DAYS_PER_SF",
+    "DatasetStats",
+    "build_repository",
+    "dataset_root",
+    "build_or_reuse",
+    "EPOCH_2010_MS",
+]
+
+# Paper-exact day counts per scale factor (files = 4 stations × days).
+DAYS_PER_SF: dict[int, int] = {1: 40, 3: 121, 9: 366, 27: 1096}
+
+# All synthetic data starts 2010-01-01T00:00:00Z, matching the paper's
+# example queries which probe January and April 2010.
+EPOCH_2010_MS = 1262304000000
+
+MILLIS_PER_DAY = 24 * 3600 * 1000
+
+
+@dataclass(frozen=True)
+class RepoScale:
+    """Down-scaling preset: how much data per station-day.
+
+    ``day_divisor`` shrinks the number of days per scale factor (keeping the
+    1:3:9:27 ratios); ``samples_per_day`` fixes the per-file volume;
+    ``frequency_hz`` is the nominal sampling rate implied by those samples.
+    """
+
+    name: str
+    day_divisor: int
+    samples_per_day: int
+    min_segments: int
+    max_segments: int
+
+    def days_for_sf(self, scale_factor: int) -> int:
+        base = DAYS_PER_SF[scale_factor]
+        return max(1, base // self.day_divisor)
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.samples_per_day / 86400.0
+
+
+SCALE_TEST = RepoScale("test", day_divisor=20, samples_per_day=720,
+                       min_segments=2, max_segments=4)
+SCALE_SMALL = RepoScale("small", day_divisor=10, samples_per_day=4320,
+                        min_segments=4, max_segments=8)
+SCALE_PAPER = RepoScale("paper", day_divisor=1, samples_per_day=8640,
+                        min_segments=8, max_segments=16)
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """What Table II reports per dataset."""
+
+    scale_factor: int
+    num_files: int
+    num_segments: int
+    num_samples: int
+    repo_bytes: int
+
+
+def build_repository(
+    root: str,
+    scale_factor: int,
+    scale: RepoScale = SCALE_SMALL,
+    stations: tuple[Station, ...] = DEFAULT_STATIONS,
+) -> DatasetStats:
+    """Materialize one dataset as a directory of xseed chunks.
+
+    One file per station per day; day 0 starts at 2010-01-01T00:00:00Z.
+    Generation is deterministic — same arguments, same bytes.
+    """
+    days = scale.days_for_sf(scale_factor)
+    num_files = 0
+    num_segments = 0
+    num_samples = 0
+    repo_bytes = 0
+    for station in stations:
+        for day in range(days):
+            day_start = EPOCH_2010_MS + day * MILLIS_PER_DAY
+            samples = waveform.generate_day(
+                station.code,
+                station.channel,
+                day,
+                scale.samples_per_day,
+                noise_scale=station.noise_scale,
+                event_rate=station.event_rate,
+                base_amplitude=station.base_amplitude,
+            )
+            rng = np.random.default_rng(
+                waveform.day_seed(station.code, station.channel, day) ^ 0xA5A5
+            )
+            pieces = waveform.split_into_segments(
+                samples,
+                day_start,
+                scale.frequency_hz,
+                rng,
+                scale.min_segments,
+                scale.max_segments,
+            )
+            segments = [
+                SegmentData(
+                    segment_no=no,
+                    start_time_ms=start_ms,
+                    frequency=scale.frequency_hz,
+                    samples=data,
+                )
+                for no, start_ms, data in pieces
+            ]
+            path = os.path.join(
+                root,
+                station.code,
+                f"{station.code}.{station.channel}.day{day:04d}.xseed",
+            )
+            repo_bytes += write_volume(
+                path,
+                station.network,
+                station.code,
+                station.location,
+                station.channel,
+                segments,
+            )
+            num_files += 1
+            num_segments += len(segments)
+            num_samples += len(samples)
+    return DatasetStats(
+        scale_factor=scale_factor,
+        num_files=num_files,
+        num_segments=num_segments,
+        num_samples=num_samples,
+        repo_bytes=repo_bytes,
+    )
+
+
+def dataset_root(base_dir: str, scale_factor: int, scale: RepoScale,
+                 fiam_only: bool = False) -> str:
+    """Canonical directory for one dataset under a base directory."""
+    suffix = "fiam" if fiam_only else "all"
+    return os.path.join(base_dir, f"ingv-{scale.name}-sf{scale_factor}-{suffix}")
+
+
+def build_or_reuse(
+    base_dir: str,
+    scale_factor: int,
+    scale: RepoScale = SCALE_SMALL,
+    fiam_only: bool = False,
+) -> tuple[FileRepository, DatasetStats]:
+    """Build a dataset unless an identical one already exists on disk.
+
+    Reuse is keyed on the canonical directory name and a stats marker file;
+    benchmark suites share repositories across runs this way.
+    """
+    root = dataset_root(base_dir, scale_factor, scale, fiam_only)
+    marker = os.path.join(root, ".stats")
+    stations = FIAM_ONLY if fiam_only else DEFAULT_STATIONS
+    if os.path.isfile(marker):
+        with open(marker, "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        stats = DatasetStats(
+            scale_factor=int(fields[0]),
+            num_files=int(fields[1]),
+            num_segments=int(fields[2]),
+            num_samples=int(fields[3]),
+            repo_bytes=int(fields[4]),
+        )
+        return FileRepository(root), stats
+    stats = build_repository(root, scale_factor, scale, stations)
+    with open(marker, "w", encoding="ascii") as handle:
+        handle.write(
+            f"{stats.scale_factor} {stats.num_files} {stats.num_segments} "
+            f"{stats.num_samples} {stats.repo_bytes}\n"
+        )
+    return FileRepository(root), stats

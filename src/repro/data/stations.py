@@ -1,0 +1,52 @@
+"""Station/channel inventory for the synthetic seismic repository.
+
+The paper's INGV dataset covers 4 stations over 3 years; its example
+queries use station ISK (Kandilli Observatory, Istanbul) with channel BHE
+and station FIAM with channel HHZ.  We reproduce exactly that inventory:
+four stations, one channel each, so that ``#files = #stations × #days``
+matches Table II's structure (sf-1: 160 files = 4 stations × 40 days).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Station", "DEFAULT_STATIONS", "FIAM_ONLY", "station_by_code"]
+
+
+@dataclass(frozen=True)
+class Station:
+    """One sensor: identification plus signal character parameters."""
+
+    network: str
+    code: str
+    location: str
+    channel: str
+    # Signal shaping (per-station so data is distinguishable in tests):
+    noise_scale: float  # standard deviation of the driving noise
+    event_rate: float  # expected seismic events per day
+    base_amplitude: float  # typical event peak amplitude (counts)
+
+
+DEFAULT_STATIONS: tuple[Station, ...] = (
+    Station("KO", "ISK", "", "BHE", noise_scale=40.0, event_rate=1.5,
+            base_amplitude=12000.0),
+    Station("IV", "FIAM", "", "HHZ", noise_scale=55.0, event_rate=2.0,
+            base_amplitude=18000.0),
+    Station("IV", "ARCI", "", "BHZ", noise_scale=35.0, event_rate=1.0,
+            base_amplitude=9000.0),
+    Station("IV", "LATE", "", "BHN", noise_scale=60.0, event_rate=2.5,
+            base_amplitude=15000.0),
+)
+
+FIAM_ONLY: tuple[Station, ...] = tuple(
+    s for s in DEFAULT_STATIONS if s.code == "FIAM"
+)
+
+
+def station_by_code(code: str) -> Station:
+    """Look up a default station by its code."""
+    for station in DEFAULT_STATIONS:
+        if station.code == code:
+            return station
+    raise KeyError(f"unknown station code {code!r}")

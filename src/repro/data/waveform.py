@@ -1,0 +1,110 @@
+"""Synthetic seismogram generation.
+
+Real INGV waveforms are unavailable (proprietary repository access); per the
+substitution rule we synthesize signals with the statistical properties the
+experiments depend on:
+
+* smooth colored background noise (an AR(1) process) — small sample-to-sample
+  deltas, so the Steim-like codec achieves mSEED-like compression ratios;
+* sparse seismic *events*: exponentially decaying sinusoid bursts with
+  amplitudes far above the noise floor — these make the derived-metadata
+  predicates of Query 2 (hourly max amplitude / std-dev thresholds)
+  selective rather than degenerate.
+
+Generation is deterministic: the RNG seed derives from (station, channel,
+day), so rebuilding a repository yields byte-identical chunks.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["day_seed", "generate_day", "split_into_segments"]
+
+MILLIS_PER_DAY = 24 * 3600 * 1000
+
+
+def day_seed(station: str, channel: str, day_index: int) -> int:
+    """Stable 32-bit seed for one station-channel-day."""
+    key = f"{station}:{channel}:{day_index}".encode("ascii")
+    return zlib.crc32(key)
+
+
+def generate_day(
+    station: str,
+    channel: str,
+    day_index: int,
+    samples_per_day: int,
+    noise_scale: float = 50.0,
+    event_rate: float = 1.5,
+    base_amplitude: float = 12000.0,
+) -> np.ndarray:
+    """One day of integer waveform samples for a station-channel.
+
+    AR(1) background (coefficient 0.97) plus ``Poisson(event_rate)`` decaying
+    sinusoid bursts, quantized to int64 counts.
+    """
+    rng = np.random.default_rng(day_seed(station, channel, day_index))
+    driving = rng.normal(0.0, noise_scale, samples_per_day)
+    signal = _ar1(driving, 0.97)
+    n_events = rng.poisson(event_rate)
+    for _ in range(n_events):
+        start = int(rng.integers(0, max(samples_per_day - 10, 1)))
+        duration = int(
+            rng.integers(samples_per_day // 200 + 2, samples_per_day // 20 + 4)
+        )
+        end = min(start + duration, samples_per_day)
+        t = np.arange(end - start, dtype=np.float64)
+        amplitude = base_amplitude * rng.uniform(0.5, 2.5)
+        frequency = rng.uniform(0.02, 0.2)
+        decay = 5.0 / max(duration, 1)
+        burst = amplitude * np.exp(-decay * t) * np.sin(
+            2 * np.pi * frequency * t + rng.uniform(0, 2 * np.pi)
+        )
+        signal[start:end] += burst
+    return np.round(signal).astype(np.int64)
+
+
+def _ar1(driving: np.ndarray, coefficient: float) -> np.ndarray:
+    """AR(1) recursion x[t] = c·x[t-1] + e[t] as an IIR filter."""
+    if len(driving) == 0:
+        return driving.copy()
+    from scipy.signal import lfilter
+
+    out, _ = lfilter([1.0], [1.0, -coefficient], driving, zi=np.zeros(1))
+    return out
+
+
+def split_into_segments(
+    samples: np.ndarray,
+    day_start_ms: int,
+    frequency_hz: float,
+    rng: np.random.Generator,
+    min_segments: int = 8,
+    max_segments: int = 16,
+) -> list[tuple[int, int, np.ndarray]]:
+    """Split a day of samples into segments with small gaps.
+
+    Returns ``[(segment_no, start_time_ms, samples), ...]``.  Real mSEED
+    files hold multiple records per file (Table II: ~12.6 segments per
+    file); gaps between segments model acquisition interruptions.
+    """
+    total = len(samples)
+    count = int(rng.integers(min_segments, max_segments + 1))
+    count = max(1, min(count, total)) if total else 1
+    if total == 0:
+        return [(0, day_start_ms, samples)]
+    boundaries = np.sort(rng.choice(np.arange(1, total), size=count - 1,
+                                    replace=False)) if count > 1 else np.empty(0, dtype=np.int64)
+    pieces = np.split(samples, boundaries)
+    period_ms = 1000.0 / frequency_hz
+    segments: list[tuple[int, int, np.ndarray]] = []
+    cursor = 0
+    for segment_no, piece in enumerate(pieces):
+        start_ms = day_start_ms + int(round(cursor * period_ms))
+        # A short gap (up to 10 sample periods) after each segment.
+        segments.append((segment_no, start_ms, piece))
+        cursor += len(piece) + int(rng.integers(0, 10))
+    return segments

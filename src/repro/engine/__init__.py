@@ -1,0 +1,73 @@
+"""The columnar engine substrate (a MonetDB-like stand-in).
+
+This package is the generic DBMS the paper's contribution plugs into:
+columns and tables (:mod:`column`, :mod:`table`), a catalog with data-kind
+classification (:mod:`catalog`), logical algebra and a rule-based optimizer
+(:mod:`algebra`, :mod:`optimizer`), vectorized physical operators
+(:mod:`physical`), a MAL-like rewritable program layer (:mod:`mal`), paged
+storage with a buffer pool (:mod:`storage`), the Recycler chunk cache
+(:mod:`recycler`), index structures (:mod:`indexes`) and a SQL front-end
+(:mod:`sql`).
+
+The paper-specific machinery — two-stage execution, coloring rules,
+incremental metadata derivation — lives in :mod:`repro.core` and composes
+these pieces.
+"""
+
+from .catalog import Catalog, ForeignKey, TableKind
+from .column import Column, ColumnBuilder
+from .database import Database
+from .errors import (
+    BindError,
+    CatalogError,
+    EngineError,
+    ExecutionError,
+    FormatError,
+    LexerError,
+    ParseError,
+    PlanError,
+    SQLError,
+    StorageError,
+    TypeMismatchError,
+)
+from .physical import ExecutionContext, ExecStats, drop_hidden_columns, execute_plan
+from .recycler import Recycler
+from .storage import BufferPool, PagedColumnStore
+from .table import Field, Schema, Table, TableBuilder
+from .types import BOOL, FLOAT64, INT64, STRING, TIMESTAMP
+
+__all__ = [
+    "BOOL",
+    "BindError",
+    "BufferPool",
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "ColumnBuilder",
+    "Database",
+    "EngineError",
+    "ExecStats",
+    "ExecutionContext",
+    "ExecutionError",
+    "Field",
+    "FLOAT64",
+    "ForeignKey",
+    "FormatError",
+    "INT64",
+    "LexerError",
+    "PagedColumnStore",
+    "ParseError",
+    "PlanError",
+    "Recycler",
+    "SQLError",
+    "STRING",
+    "Schema",
+    "StorageError",
+    "TIMESTAMP",
+    "Table",
+    "TableBuilder",
+    "TableKind",
+    "TypeMismatchError",
+    "drop_hidden_columns",
+    "execute_plan",
+]

@@ -1,0 +1,245 @@
+"""NumPy-backed typed columns — the unit of storage of the engine.
+
+A :class:`Column` pairs a :class:`~repro.engine.types.DataType` with a NumPy
+array.  All bulk operators of the engine (selections, joins, aggregations)
+consume and produce columns; this mirrors MonetDB's BAT-at-a-time processing
+model that the paper's implementation builds on.
+
+Columns are immutable from the perspective of query processing: operators
+always produce *new* columns (``take``, ``filter``, ``concat``...).  Mutation
+is only used by the loading paths through :class:`ColumnBuilder`, which
+amortizes appends with capacity doubling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .errors import TypeMismatchError
+from .types import BOOL, DataType, FLOAT64, INT64, STRING, TIMESTAMP, infer_type
+
+__all__ = ["Column", "ColumnBuilder", "column_from_values"]
+
+
+class Column:
+    """An immutable typed vector of values.
+
+    Attributes:
+        dtype: Logical type of the values.
+        values: The backing NumPy array (never mutated after construction).
+    """
+
+    __slots__ = ("dtype", "values")
+
+    def __init__(self, dtype: DataType, values: np.ndarray) -> None:
+        if not isinstance(values, np.ndarray):
+            values = np.asarray(values, dtype=dtype.numpy_dtype)
+        if values.dtype != dtype.numpy_dtype:
+            values = values.astype(dtype.numpy_dtype)
+        self.dtype = dtype
+        self.values = values
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def empty(cls, dtype: DataType) -> "Column":
+        """An empty column of the given type."""
+        return cls(dtype, dtype.empty_array(0))
+
+    @classmethod
+    def from_values(cls, dtype: DataType, values: Iterable[Any]) -> "Column":
+        """Build a column by coercing each Python value to ``dtype``."""
+        coerced = [dtype.coerce_value(v) for v in values]
+        if dtype is STRING:
+            array = np.empty(len(coerced), dtype=object)
+            array[:] = coerced
+        else:
+            array = np.asarray(coerced, dtype=dtype.numpy_dtype)
+            if array.ndim == 0:
+                array = array.reshape(0)
+        return cls(dtype, array)
+
+    @classmethod
+    def constant(cls, dtype: DataType, value: Any, length: int) -> "Column":
+        """A column repeating ``value`` ``length`` times."""
+        coerced = dtype.coerce_value(value)
+        if dtype is STRING:
+            array = np.empty(length, dtype=object)
+            array[:] = coerced
+        else:
+            array = np.full(length, coerced, dtype=dtype.numpy_dtype)
+        return cls(dtype, array)
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __getitem__(self, index: int) -> Any:
+        value = self.values[index]
+        if self.dtype is STRING:
+            return value
+        if self.dtype is BOOL:
+            return bool(value)
+        if self.dtype is FLOAT64:
+            return float(value)
+        return int(value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        if self.dtype is not other.dtype or len(self) != len(other):
+            return False
+        if self.dtype is STRING:
+            return bool(np.all(self.values == other.values))
+        return bool(np.array_equal(self.values, other.values))
+
+    def __hash__(self) -> int:  # columns are not hashable by content
+        raise TypeError("Column objects are unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = ", ".join(repr(v) for v in self.values[:4])
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"Column<{self.dtype.name}>[{preview}{suffix}] (n={len(self)})"
+
+    # -- bulk operations ---------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Positional gather: a new column with ``values[indices]``."""
+        return Column(self.dtype, self.values[indices])
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Boolean selection: a new column keeping rows where mask is True."""
+        if mask.dtype != np.bool_:
+            raise TypeMismatchError("filter mask must be boolean")
+        return Column(self.dtype, self.values[mask])
+
+    def slice(self, start: int, stop: int) -> "Column":
+        """A contiguous sub-column ``[start, stop)``."""
+        return Column(self.dtype, self.values[start:stop])
+
+    def concat(self, other: "Column") -> "Column":
+        """Concatenate two columns of identical type."""
+        if other.dtype is not self.dtype:
+            raise TypeMismatchError(
+                f"cannot concat {self.dtype.name} with {other.dtype.name}"
+            )
+        return Column(self.dtype, np.concatenate([self.values, other.values]))
+
+    @staticmethod
+    def concat_all(columns: Sequence["Column"]) -> "Column":
+        """Concatenate a non-empty sequence of same-typed columns."""
+        if not columns:
+            raise ValueError("concat_all requires at least one column")
+        first = columns[0]
+        for col in columns[1:]:
+            if col.dtype is not first.dtype:
+                raise TypeMismatchError("concat_all requires identical types")
+        if len(columns) == 1:
+            return columns[0]
+        return Column(first.dtype, np.concatenate([c.values for c in columns]))
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint in bytes.
+
+        Object (string) columns estimate per-string payload since NumPy only
+        accounts for the pointer array.
+        """
+        if self.dtype is STRING:
+            pointer_bytes = self.values.nbytes
+            payload = sum(len(v) for v in self.values if isinstance(v, str))
+            return pointer_bytes + payload
+        return self.values.nbytes
+
+    def to_list(self) -> list[Any]:
+        """Materialize as a list of Python scalars."""
+        return [self[i] for i in range(len(self))]
+
+    def unique(self) -> "Column":
+        """Distinct values in first-appearance order."""
+        if self.dtype is STRING:
+            seen: dict[Any, None] = {}
+            for v in self.values:
+                seen.setdefault(v, None)
+            return Column.from_values(self.dtype, list(seen))
+        _, first_index = np.unique(self.values, return_index=True)
+        order = np.sort(first_index)
+        return Column(self.dtype, self.values[order])
+
+
+class ColumnBuilder:
+    """Amortized-append builder used by the data loading paths.
+
+    Appends coerce values eagerly; ``finish`` snapshots into an immutable
+    :class:`Column`.  Capacity doubles on demand so that N appends cost
+    O(N) amortized — this is the write path of the Registrar and of
+    chunk-access ingestion.
+    """
+
+    def __init__(self, dtype: DataType, capacity: int = 16) -> None:
+        self.dtype = dtype
+        self._size = 0
+        self._array = dtype.empty_array(max(capacity, 1))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _grow_to(self, needed: int) -> None:
+        capacity = len(self._array)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        new_array = self.dtype.empty_array(capacity)
+        new_array[: self._size] = self._array[: self._size]
+        self._array = new_array
+
+    def append(self, value: Any) -> None:
+        """Append one value (coerced to the builder's type)."""
+        self._grow_to(self._size + 1)
+        self._array[self._size] = self.dtype.coerce_value(value)
+        self._size += 1
+
+    def extend(self, values: Iterable[Any]) -> None:
+        """Append many values."""
+        materialized = values if isinstance(values, (list, tuple)) else list(values)
+        self._grow_to(self._size + len(materialized))
+        for value in materialized:
+            self._array[self._size] = self.dtype.coerce_value(value)
+            self._size += 1
+
+    def extend_array(self, array: np.ndarray) -> None:
+        """Bulk-append a NumPy array without per-value coercion."""
+        if self.dtype is STRING:
+            self.extend(array.tolist())
+            return
+        converted = np.asarray(array, dtype=self.dtype.numpy_dtype)
+        self._grow_to(self._size + len(converted))
+        self._array[self._size : self._size + len(converted)] = converted
+        self._size += len(converted)
+
+    def finish(self) -> Column:
+        """Snapshot the builder contents into an immutable column."""
+        return Column(self.dtype, self._array[: self._size].copy())
+
+
+def column_from_values(values: Sequence[Any]) -> Column:
+    """Build a column inferring its type from the first non-None value.
+
+    Convenience used by tests and the SQL literal folding; an all-None or
+    empty sequence yields a STRING column.
+    """
+    dtype: DataType = STRING
+    for value in values:
+        if value is not None:
+            dtype = infer_type(value)
+            break
+    return Column.from_values(dtype, values)

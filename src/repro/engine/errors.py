@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro columnar engine.
+
+Every error raised by the engine derives from :class:`EngineError`, so callers
+can catch one type to handle any engine failure.  Sub-classes mirror the
+classic DBMS error taxonomy: catalog errors (unknown/duplicate objects),
+type errors, SQL front-end errors (lexing/parsing/binding) and execution
+errors (runtime failures inside physical operators).
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all errors raised by :mod:`repro.engine`."""
+
+
+class CatalogError(EngineError):
+    """A catalog object is missing, duplicated, or used inconsistently."""
+
+
+class TypeMismatchError(EngineError):
+    """An operation was attempted on incompatible column/value types."""
+
+
+class SQLError(EngineError):
+    """Base class for SQL front-end failures."""
+
+
+class LexerError(SQLError):
+    """The SQL text contains a character sequence that cannot be tokenized."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SQLError):
+    """The SQL token stream does not form a valid statement."""
+
+
+class BindError(SQLError):
+    """A parsed statement references unknown tables/columns or is ill-typed."""
+
+
+class ExecutionError(EngineError):
+    """A physical operator failed while evaluating a query plan."""
+
+
+class PlanError(EngineError):
+    """A logical or physical plan is structurally invalid."""
+
+
+class StorageError(EngineError):
+    """Paged storage or buffer-pool failure (bad page, I/O error, ...)."""
+
+
+class FormatError(EngineError):
+    """A chunk file is corrupt or does not follow the xseed format."""

@@ -1,0 +1,105 @@
+"""Vectorized equi-join kernels.
+
+The engine's hash join is implemented sort-based under the hood: both key
+sides are *factorized* into dense int64 codes (consistently across sides),
+the build side is sorted, and probes find their match ranges with binary
+search.  All multi-match expansion happens with NumPy primitives, so joining
+a multi-million-row actual-data table against metadata never loops in
+Python — the property that keeps our substrate faithful to MonetDB's bulk
+processing model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .column import Column
+from .errors import ExecutionError
+
+__all__ = ["factorize_pair", "composite_codes_pair", "equi_join_pairs"]
+
+
+def factorize_pair(
+    left: np.ndarray, right: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Encode two key arrays into consistent dense codes.
+
+    Returns ``(left_codes, right_codes, cardinality)``.  Values appearing in
+    either array get the same code in both outputs.
+    """
+    if left.dtype == object or right.dtype == object:
+        mapping: dict[Any, int] = {}
+        left_codes = np.empty(len(left), dtype=np.int64)
+        for i, value in enumerate(left):
+            left_codes[i] = mapping.setdefault(value, len(mapping))
+        right_codes = np.empty(len(right), dtype=np.int64)
+        for i, value in enumerate(right):
+            right_codes[i] = mapping.setdefault(value, len(mapping))
+        return left_codes, right_codes, max(len(mapping), 1)
+    merged = np.concatenate([left, right])
+    uniques, inverse = np.unique(merged, return_inverse=True)
+    inverse = inverse.astype(np.int64, copy=False)
+    return inverse[: len(left)], inverse[len(left) :], max(len(uniques), 1)
+
+
+def composite_codes_pair(
+    left_columns: Sequence[Column], right_columns: Sequence[Column]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Consistently encode multi-column keys on both join sides."""
+    if len(left_columns) != len(right_columns):
+        raise ExecutionError("join key arity mismatch")
+    if not left_columns:
+        raise ExecutionError("equi join requires at least one key pair")
+    left_rows = len(left_columns[0])
+    right_rows = len(right_columns[0])
+    left_codes = np.zeros(left_rows, dtype=np.int64)
+    right_codes = np.zeros(right_rows, dtype=np.int64)
+    for left_col, right_col in zip(left_columns, right_columns):
+        l_part, r_part, cardinality = factorize_pair(
+            left_col.values, right_col.values
+        )
+        left_codes = left_codes * np.int64(cardinality) + l_part
+        right_codes = right_codes * np.int64(cardinality) + r_part
+    return left_codes, right_codes
+
+
+def equi_join_pairs(
+    left_codes: np.ndarray, right_codes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (left_row, right_row) index pairs with equal codes.
+
+    The smaller side is sorted (the "build" side); the larger side probes
+    with ``searchsorted``.  Multi-match expansion uses repeat/cumsum only.
+    """
+    if len(left_codes) <= len(right_codes):
+        build_codes, probe_codes = left_codes, right_codes
+        build_is_left = True
+    else:
+        build_codes, probe_codes = right_codes, left_codes
+        build_is_left = False
+
+    order = np.argsort(build_codes, kind="stable")
+    sorted_build = build_codes[order]
+    lo = np.searchsorted(sorted_build, probe_codes, side="left")
+    hi = np.searchsorted(sorted_build, probe_codes, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+
+    probe_rows = np.repeat(np.arange(len(probe_codes), dtype=np.int64), counts)
+    # Build-side offsets: for each expanded slot, its position in the sorted
+    # build array = lo[probe_row] + (slot index within that probe's run).
+    starts = np.repeat(lo, counts)
+    run_start_positions = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        run_start_positions, counts
+    )
+    build_rows = order[starts + within]
+
+    if build_is_left:
+        return build_rows, probe_rows
+    return probe_rows, build_rows

@@ -1,0 +1,165 @@
+"""Query graphs: vertices are base tables, edges are join predicates.
+
+Section III of the paper expresses its join-order rules over a *query graph*
+[Ullman 85]: each base relation is a vertex, and every join predicate
+connecting two relations contributes an edge.  The paper colors vertices
+red (metadata) or black (actual data); edges become red (red-red), black
+(black-black) or blue (red-black).
+
+This module builds the graph from a bound logical plan: single-table
+selection predicates are attached to their vertex, join predicates become
+edges.  The coloring itself lives in :mod:`repro.core.coloring` — the graph
+is a generic engine facility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from . import algebra
+from .errors import PlanError
+from .expressions import Expression, conjoin, conjuncts, referenced_tables
+from .table import Schema
+
+__all__ = ["Vertex", "Edge", "QueryGraph", "build_query_graph"]
+
+
+@dataclass
+class Vertex:
+    """One base relation in the query graph."""
+
+    table_name: str
+    schema: Schema
+    predicates: list[Expression] = field(default_factory=list)
+
+    def local_predicate(self) -> Expression | None:
+        """Conjunction of all single-table predicates on this vertex."""
+        return conjoin(self.predicates)
+
+
+@dataclass
+class Edge:
+    """A join predicate connecting exactly two vertices."""
+
+    tables: frozenset[str]
+    predicates: list[Expression] = field(default_factory=list)
+
+    def condition(self) -> Expression | None:
+        return conjoin(self.predicates)
+
+    def other(self, table_name: str) -> str:
+        (a, b) = tuple(self.tables)
+        return b if table_name == a else a
+
+
+class QueryGraph:
+    """Vertices + edges + predicates spanning more than two tables."""
+
+    def __init__(self) -> None:
+        self.vertices: dict[str, Vertex] = {}
+        self.edges: dict[frozenset[str], Edge] = {}
+        # Predicates referencing 3+ tables cannot live on one edge; they are
+        # applied once all their tables are joined.
+        self.hyper_predicates: list[Expression] = []
+
+    def add_vertex(self, table_name: str, schema: Schema) -> Vertex:
+        if table_name in self.vertices:
+            raise PlanError(f"duplicate vertex {table_name!r} in query graph")
+        vertex = Vertex(table_name, schema)
+        self.vertices[table_name] = vertex
+        return vertex
+
+    def vertex(self, table_name: str) -> Vertex:
+        try:
+            return self.vertices[table_name]
+        except KeyError:
+            raise PlanError(f"unknown vertex {table_name!r}") from None
+
+    def add_predicate(self, predicate: Expression) -> None:
+        """Route one conjunct to its vertex, edge, or the hyper list."""
+        tables = {t for t in referenced_tables(predicate) if t in self.vertices}
+        if len(tables) == 0:
+            # Constant predicate: attach to an arbitrary vertex (it will be
+            # evaluated once rows exist).  Rare; keeps behaviour total.
+            first = next(iter(self.vertices.values()), None)
+            if first is None:
+                raise PlanError("predicate added to an empty query graph")
+            first.predicates.append(predicate)
+            return
+        if len(tables) == 1:
+            self.vertices[next(iter(tables))].predicates.append(predicate)
+            return
+        if len(tables) == 2:
+            key = frozenset(tables)
+            edge = self.edges.get(key)
+            if edge is None:
+                edge = Edge(key)
+                self.edges[key] = edge
+            edge.predicates.append(predicate)
+            return
+        self.hyper_predicates.append(predicate)
+
+    def edges_of(self, table_name: str) -> list[Edge]:
+        return [e for e in self.edges.values() if table_name in e.tables]
+
+    def neighbors(self, table_name: str) -> set[str]:
+        result = set()
+        for edge in self.edges_of(table_name):
+            result.add(edge.other(table_name))
+        return result
+
+    def connected_components(self, subset: Iterable[str] | None = None) -> list[set[str]]:
+        """Connected components of the (sub)graph induced by ``subset``."""
+        nodes = set(subset) if subset is not None else set(self.vertices)
+        remaining = set(nodes)
+        components: list[set[str]] = []
+        while remaining:
+            seed = remaining.pop()
+            component = {seed}
+            frontier = [seed]
+            while frontier:
+                current = frontier.pop()
+                for neighbor in self.neighbors(current):
+                    if neighbor in remaining:
+                        remaining.remove(neighbor)
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            components.append(component)
+        return components
+
+
+def build_query_graph(plan: algebra.LogicalPlan) -> QueryGraph:
+    """Extract the query graph of the join block rooted at ``plan``.
+
+    The function collects every base-table scan and every predicate found in
+    Select and Join nodes of the subtree.  Non-join-block operators
+    (aggregates, projections, sorts) must sit *above* the join block;
+    encountering them below raises :class:`PlanError`.
+    """
+    graph = QueryGraph()
+    predicates: list[Expression] = []
+
+    def visit(node: algebra.LogicalPlan) -> None:
+        if isinstance(node, algebra.Scan):
+            graph.add_vertex(node.table_name, node.schema)
+            return
+        if isinstance(node, algebra.Select):
+            predicates.extend(conjuncts(node.predicate))
+            visit(node.child)
+            return
+        if isinstance(node, algebra.Join):
+            if node.condition is not None:
+                predicates.extend(conjuncts(node.condition))
+            visit(node.left)
+            visit(node.right)
+            return
+        raise PlanError(
+            f"{type(node).__name__} inside a join block; "
+            "query graphs cover Scan/Select/Join subtrees only"
+        )
+
+    visit(plan)
+    for predicate in predicates:
+        graph.add_predicate(predicate)
+    return graph

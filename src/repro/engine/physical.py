@@ -1,0 +1,525 @@
+"""Physical evaluation of logical plans: bulk operators over columns.
+
+The executor walks a :class:`~repro.engine.algebra.LogicalPlan` and
+materializes a :class:`~repro.engine.table.Table` per node — MonetDB-style
+full materialization ("bulk processing"), which is what makes the paper's
+two-stage break between sub-plans natural.
+
+All heavy lifting is vectorized: selections evaluate predicates over whole
+columns, joins run through :mod:`repro.engine.hashjoin`, and aggregation is
+bincount/ufunc based.  An :class:`ExecutionContext` carries the database
+handle (for scans, chunk loading and caches), the stage-result registry used
+by ``result-scan``, and the counters experiments read.
+
+Hidden columns: every base-table scan emits a ``<T>.#rowid`` column so that
+join indexes (a positional FK→PK mapping) can replace hash joins when the
+eager_index loading variant built them.  Hidden columns are dropped by
+projections and final result delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from . import algebra
+from .column import Column
+from .errors import ExecutionError, PlanError
+from .expressions import Comparison, ColumnRef, Expression, conjuncts
+from .hashjoin import composite_codes_pair, equi_join_pairs
+from .table import Field, Schema, Table
+from .types import FLOAT64, INT64, STRING, TIMESTAMP
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .database import Database
+
+__all__ = ["ExecStats", "ExecutionContext", "execute_plan", "drop_hidden_columns"]
+
+HIDDEN_MARKER = "#"
+
+
+@dataclass
+class ExecStats:
+    """Counters accumulated during plan evaluation."""
+
+    rows_scanned: int = 0
+    chunks_loaded: int = 0
+    chunks_from_cache: int = 0
+    chunk_rows_loaded: int = 0
+    chunk_load_seconds: float = 0.0
+    joins_executed: int = 0
+    join_index_hits: int = 0
+    rows_joined: int = 0
+
+    def reset(self) -> None:
+        self.rows_scanned = 0
+        self.chunks_loaded = 0
+        self.chunks_from_cache = 0
+        self.chunk_rows_loaded = 0
+        self.chunk_load_seconds = 0.0
+        self.joins_executed = 0
+        self.join_index_hits = 0
+        self.rows_joined = 0
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a physical operator needs at run time."""
+
+    database: "Database"
+    stage_results: dict[str, Table] = field(default_factory=dict)
+    stats: ExecStats = field(default_factory=ExecStats)
+
+
+def is_hidden(name: str) -> bool:
+    return HIDDEN_MARKER in name
+
+
+def drop_hidden_columns(table: Table) -> Table:
+    """Remove engine-internal (rowid) columns before delivering results."""
+    visible = [n for n in table.schema.names if not is_hidden(n)]
+    if len(visible) == len(table.schema.names):
+        return table
+    return table.project(visible)
+
+
+def execute_plan(plan: algebra.LogicalPlan, ctx: ExecutionContext) -> Table:
+    """Evaluate a logical plan bottom-up, returning its result table."""
+    if isinstance(plan, algebra.Scan):
+        return _execute_scan(plan, ctx)
+    if isinstance(plan, algebra.Select):
+        return _execute_select(plan, ctx)
+    if isinstance(plan, algebra.Project):
+        return _execute_project(plan, ctx)
+    if isinstance(plan, algebra.Join):
+        return _execute_join(plan, ctx)
+    if isinstance(plan, algebra.Aggregate):
+        return _execute_aggregate(plan, ctx)
+    if isinstance(plan, algebra.Union):
+        tables = [execute_plan(child, ctx) for child in plan.children()]
+        aligned = [t.project(list(plan.schema.names)) for t in tables]
+        return Table.concat_all(aligned)
+    if isinstance(plan, algebra.Sort):
+        return _execute_sort(plan, ctx)
+    if isinstance(plan, algebra.Limit):
+        child = execute_plan(plan.child, ctx)
+        return child.slice(0, min(plan.count, child.num_rows))
+    if isinstance(plan, algebra.Distinct):
+        return _execute_distinct(plan, ctx)
+    if isinstance(plan, algebra.EmptyRelation):
+        return Table.empty(plan.schema)
+    if isinstance(plan, algebra.ResultScan):
+        return _execute_result_scan(plan, ctx)
+    if isinstance(plan, algebra.CacheScan):
+        return _execute_cache_scan(plan, ctx)
+    if isinstance(plan, algebra.ChunkAccess):
+        return _execute_chunk_access(plan, ctx)
+    raise PlanError(f"no physical implementation for {type(plan).__name__}")
+
+
+# -- scans ---------------------------------------------------------------------
+
+
+def _execute_scan(plan: algebra.Scan, ctx: ExecutionContext) -> Table:
+    table = ctx.database.scan_base_table(plan.table_name)
+    ctx.stats.rows_scanned += table.num_rows
+    return table
+
+
+def _execute_result_scan(plan: algebra.ResultScan, ctx: ExecutionContext) -> Table:
+    try:
+        return ctx.stage_results[plan.tag]
+    except KeyError:
+        raise ExecutionError(
+            f"result-scan: no stage result tagged {plan.tag!r}"
+        ) from None
+
+
+def _execute_cache_scan(plan: algebra.CacheScan, ctx: ExecutionContext) -> Table:
+    cached = ctx.database.recycler.get(plan.uri)
+    if cached is None:
+        # The chunk fell out of the cache between planning and execution:
+        # degrade gracefully to a chunk access.
+        fallback = algebra.ChunkAccess(plan.uri, plan.table_name, plan.schema)
+        return _execute_chunk_access(fallback, ctx)
+    ctx.stats.chunks_from_cache += 1
+    return _align_chunk(cached, plan.schema)
+
+
+def _execute_chunk_access(plan: algebra.ChunkAccess, ctx: ExecutionContext) -> Table:
+    in_situ = _try_in_situ_access(plan, ctx)
+    if in_situ is not None:
+        return in_situ
+    loaded, cost_seconds = ctx.database.load_chunk(plan.uri, plan.table_name)
+    ctx.stats.chunks_loaded += 1
+    ctx.stats.chunk_rows_loaded += loaded.num_rows
+    ctx.stats.chunk_load_seconds += cost_seconds
+    ctx.database.recycler.put(plan.uri, loaded, cost_seconds)
+    result = _align_chunk(loaded, plan.schema)
+    if plan.pushed_predicate is not None:
+        mask = np.asarray(plan.pushed_predicate.evaluate(result), dtype=np.bool_)
+        result = result.filter(mask)
+    return result
+
+
+def _try_in_situ_access(
+    plan: algebra.ChunkAccess, ctx: ExecutionContext
+) -> Table | None:
+    """NoDB-style selective access: decode only the needed time window.
+
+    Requires the database's 'in_situ' strategy, a pushed predicate with
+    extractable literal time bounds, and a range-capable loader.  The
+    partial result is NOT admitted to the recycler (it does not represent
+    the whole chunk); correctness is unaffected — later queries simply load
+    what they need themselves.
+    """
+    database = ctx.database
+    if database.chunk_access_strategy != "in_situ":
+        return None
+    if plan.pushed_predicate is None:
+        return None
+    time_column = database.in_situ_time_columns.get(plan.table_name)
+    if time_column is None:
+        return None
+    bounds = _extract_time_bounds(plan.pushed_predicate, time_column)
+    if bounds is None:
+        return None
+    low, high = bounds
+    loaded = database.load_chunk_range(plan.uri, plan.table_name, low, high)
+    if loaded is None:
+        return None
+    table, cost_seconds = loaded
+    ctx.stats.chunks_loaded += 1
+    ctx.stats.chunk_rows_loaded += table.num_rows
+    ctx.stats.chunk_load_seconds += cost_seconds
+    result = _align_chunk(table, plan.schema)
+    mask = np.asarray(plan.pushed_predicate.evaluate(result), dtype=np.bool_)
+    return result.filter(mask)
+
+
+def _extract_time_bounds(
+    predicate: Expression, time_column: str
+) -> tuple[int | None, int | None] | None:
+    """(low, high) literal bounds on the time column, or None if absent."""
+    from .expressions import Literal
+
+    low: int | None = None
+    high: int | None = None
+    found = False
+    for conjunct in conjuncts(predicate):
+        if not isinstance(conjunct, Comparison):
+            continue
+        for oriented in (conjunct, conjunct.flipped()):
+            if (
+                isinstance(oriented.left, ColumnRef)
+                and oriented.left.name == time_column
+                and isinstance(oriented.right, Literal)
+            ):
+                bound = int(oriented.right.value)
+                if oriented.op == ">=":
+                    low = bound if low is None else max(low, bound)
+                elif oriented.op == ">":
+                    low = bound + 1 if low is None else max(low, bound + 1)
+                elif oriented.op == "<":
+                    high = bound if high is None else min(high, bound)
+                elif oriented.op == "<=":
+                    high = bound + 1 if high is None else min(high, bound + 1)
+                else:
+                    continue
+                found = True
+                break
+    if not found:
+        return None
+    return low, high
+
+
+def _align_chunk(chunk: Table, schema: Schema) -> Table:
+    """Project a cached/loaded chunk to the schema the plan expects."""
+    return chunk.project(list(schema.names))
+
+
+# -- row-level operators ---------------------------------------------------------
+
+
+def _execute_select(plan: algebra.Select, ctx: ExecutionContext) -> Table:
+    child = execute_plan(plan.child, ctx)
+    mask = np.asarray(plan.predicate.evaluate(child), dtype=np.bool_)
+    return child.filter(mask)
+
+
+def _execute_project(plan: algebra.Project, ctx: ExecutionContext) -> Table:
+    child = execute_plan(plan.child, ctx)
+    columns = []
+    for (name, expression), fld in zip(plan.outputs, plan.schema):
+        values = expression.evaluate(child)
+        if fld.dtype is STRING and not isinstance(values, np.ndarray):
+            raise ExecutionError("projection produced a non-array value")
+        columns.append(Column(fld.dtype, np.asarray(values)))
+    return Table(plan.schema, columns)
+
+
+def _execute_sort(plan: algebra.Sort, ctx: ExecutionContext) -> Table:
+    child = execute_plan(plan.child, ctx)
+    if child.num_rows == 0:
+        return child
+    # lexsort sorts by the *last* key first; feed keys in reverse order.
+    key_arrays = []
+    for key in reversed(plan.keys):
+        values = child.column(key.name).values
+        if values.dtype == object:
+            # Factorize strings into sortable codes.
+            order = {v: i for i, v in enumerate(sorted(set(values)))}
+            values = np.fromiter(
+                (order[v] for v in values), dtype=np.int64, count=len(values)
+            )
+        if not key.ascending:
+            values = -values if values.dtype != np.bool_ else ~values
+        key_arrays.append(values)
+    indices = np.lexsort(key_arrays)
+    return child.take(indices)
+
+
+def _execute_distinct(plan: algebra.Distinct, ctx: ExecutionContext) -> Table:
+    child = execute_plan(plan.child, ctx)
+    if child.num_rows == 0:
+        return child
+    seen: set[tuple] = set()
+    keep: list[int] = []
+    for i, row in enumerate(child.rows()):
+        if row not in seen:
+            seen.add(row)
+            keep.append(i)
+    return child.take(np.asarray(keep, dtype=np.int64))
+
+
+# -- joins -----------------------------------------------------------------------
+
+
+def _split_condition_by_schema(
+    condition: Expression | None, left: Schema, right: Schema
+) -> tuple[list[tuple[str, str]], list[Expression]]:
+    """Partition a join condition into (left_col, right_col) equi pairs
+    and residual conjuncts, based on schema membership."""
+    pairs: list[tuple[str, str]] = []
+    residual: list[Expression] = []
+    for conjunct in conjuncts(condition):
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+        ):
+            a, b = conjunct.left.name, conjunct.right.name
+            if left.has(a) and right.has(b) and not (left.has(b) or right.has(a)):
+                pairs.append((a, b))
+                continue
+            if left.has(b) and right.has(a) and not (left.has(a) or right.has(b)):
+                pairs.append((b, a))
+                continue
+        residual.append(conjunct)
+    return pairs, residual
+
+
+def _execute_join(plan: algebra.Join, ctx: ExecutionContext) -> Table:
+    left = execute_plan(plan.left, ctx)
+    right = execute_plan(plan.right, ctx)
+    ctx.stats.joins_executed += 1
+
+    if plan.condition is None:
+        return _cross_product(left, right, ctx)
+
+    pairs, residual = _split_condition_by_schema(
+        plan.condition, left.schema, right.schema
+    )
+    if pairs:
+        via_index = _try_join_index(left, right, pairs, ctx)
+        if via_index is not None:
+            left_rows, right_rows = via_index
+            ctx.stats.join_index_hits += 1
+        else:
+            left_cols = [left.column(a) for a, _ in pairs]
+            right_cols = [right.column(b) for _, b in pairs]
+            left_codes, right_codes = composite_codes_pair(left_cols, right_cols)
+            left_rows, right_rows = equi_join_pairs(left_codes, right_codes)
+        joined = left.take(left_rows).zip_columns(right.take(right_rows))
+    else:
+        joined = _cross_product(left, right, ctx)
+
+    for extra in residual:
+        mask = np.asarray(extra.evaluate(joined), dtype=np.bool_)
+        joined = joined.filter(mask)
+    ctx.stats.rows_joined += joined.num_rows
+    return joined
+
+
+def _cross_product(left: Table, right: Table, ctx: ExecutionContext) -> Table:
+    n, m = left.num_rows, right.num_rows
+    left_rows = np.repeat(np.arange(n, dtype=np.int64), m)
+    right_rows = np.tile(np.arange(m, dtype=np.int64), n)
+    result = left.take(left_rows).zip_columns(right.take(right_rows))
+    ctx.stats.rows_joined += result.num_rows
+    return result
+
+
+def _try_join_index(
+    left: Table,
+    right: Table,
+    pairs: Sequence[tuple[str, str]],
+    ctx: ExecutionContext,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Try to answer the equi join with a prebuilt FK→PK join index.
+
+    Conditions: the database holds a join index whose qualified FK/PK key
+    columns are exactly the join keys, and both inputs still carry the
+    corresponding hidden rowid columns.
+    """
+    database = ctx.database
+    match = database.find_join_index_for(pairs)
+    if match is None:
+        return None
+    join_index, fk_on_left = match
+    fk_rowid = f"{join_index.fk_table}.{HIDDEN_MARKER}rowid"
+    pk_rowid = f"{join_index.pk_table}.{HIDDEN_MARKER}rowid"
+    fk_side, pk_side = (left, right) if fk_on_left else (right, left)
+    if not (fk_side.schema.has(fk_rowid) and pk_side.schema.has(pk_rowid)):
+        return None
+
+    fk_rowids = fk_side.column(fk_rowid).values
+    pk_rowids = pk_side.column(pk_rowid).values
+    if len(fk_rowids) and fk_rowids.min() < 0:
+        return None  # synthetic rows (chunk unions) have no stable rowids
+    if len(pk_rowids) and pk_rowids.min() < 0:
+        return None
+    if len(pk_rowids) != len(np.unique(pk_rowids)):
+        # The PK side was expanded by an earlier join (one base row appears
+        # several times); the positional gather would pick only one copy.
+        return None
+
+    # positions: fk base row -> pk base row; translate to *current* row
+    # numbers of both inputs.
+    positions = join_index.positions
+    pk_lookup = np.full(int(positions.max(initial=-1)) + 1, -1, dtype=np.int64)
+    pk_in_range = pk_rowids[pk_rowids < len(pk_lookup)]
+    pk_lookup[pk_in_range] = np.flatnonzero(pk_rowids < len(pk_lookup))
+    matched_pk_base = positions[fk_rowids]
+    valid = matched_pk_base >= 0
+    matched_current = np.full(len(fk_rowids), -1, dtype=np.int64)
+    in_bounds = valid & (matched_pk_base < len(pk_lookup))
+    matched_current[in_bounds] = pk_lookup[matched_pk_base[in_bounds]]
+    keep = matched_current >= 0
+    fk_rows = np.flatnonzero(keep)
+    pk_rows = matched_current[keep]
+    if fk_on_left:
+        return fk_rows, pk_rows
+    return pk_rows, fk_rows
+
+
+# -- aggregation ------------------------------------------------------------------
+
+
+def _group_codes(table: Table, group_by: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Return (group_id_per_row, representative_row_per_group)."""
+    codes = np.zeros(table.num_rows, dtype=np.int64)
+    for name in group_by:
+        values = table.column(name).values
+        if values.dtype == object:
+            mapping: dict = {}
+            local = np.empty(len(values), dtype=np.int64)
+            for i, value in enumerate(values):
+                local[i] = mapping.setdefault(value, len(mapping))
+            cardinality = max(len(mapping), 1)
+        else:
+            uniques, local = np.unique(values, return_inverse=True)
+            local = local.astype(np.int64, copy=False)
+            cardinality = max(len(uniques), 1)
+        codes = codes * np.int64(cardinality) + local
+    _, first_rows, group_ids = np.unique(codes, return_index=True, return_inverse=True)
+    return group_ids.astype(np.int64, copy=False), first_rows.astype(np.int64)
+
+
+def _aggregate_values(
+    function: str, values: np.ndarray | None, group_ids: np.ndarray, num_groups: int
+) -> np.ndarray:
+    counts = np.bincount(group_ids, minlength=num_groups).astype(np.float64)
+    if function == "COUNT":
+        return counts.astype(np.int64)
+    assert values is not None
+    as_float = values.astype(np.float64, copy=False)
+    sums = np.bincount(group_ids, weights=as_float, minlength=num_groups)
+    if function == "SUM":
+        return sums
+    if function == "AVG":
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return sums / counts
+    if function == "STD":
+        sumsq = np.bincount(
+            group_ids, weights=as_float * as_float, minlength=num_groups
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = sums / counts
+            variance = sumsq / counts - mean * mean
+        return np.sqrt(np.maximum(variance, 0.0))
+    if function in ("MIN", "MAX"):
+        fill = np.inf if function == "MIN" else -np.inf
+        out = np.full(num_groups, fill, dtype=np.float64)
+        ufunc = np.minimum if function == "MIN" else np.maximum
+        ufunc.at(out, group_ids, as_float)
+        return out
+    raise ExecutionError(f"unknown aggregate {function!r}")  # pragma: no cover
+
+
+def _execute_aggregate(plan: algebra.Aggregate, ctx: ExecutionContext) -> Table:
+    child = execute_plan(plan.child, ctx)
+    if plan.group_by:
+        return _grouped_aggregate(plan, child)
+    return _scalar_aggregate(plan, child)
+
+
+def _grouped_aggregate(plan: algebra.Aggregate, child: Table) -> Table:
+    if child.num_rows == 0:
+        return Table.empty(plan.schema)
+    group_ids, first_rows = _group_codes(child, plan.group_by)
+    num_groups = len(first_rows)
+    columns: list[Column] = [
+        child.column(name).take(first_rows) for name in plan.group_by
+    ]
+    for spec, fld in zip(plan.aggregates, plan.schema.fields[len(plan.group_by) :]):
+        values = (
+            None if spec.argument is None else np.asarray(spec.argument.evaluate(child))
+        )
+        raw = _aggregate_values(spec.function, values, group_ids, num_groups)
+        columns.append(_cast_aggregate_output(raw, fld.dtype))
+    return Table(plan.schema, columns)
+
+
+def _scalar_aggregate(plan: algebra.Aggregate, child: Table) -> Table:
+    columns: list[Column] = []
+    empty = child.num_rows == 0
+    group_ids = np.zeros(child.num_rows, dtype=np.int64)
+    for spec, fld in zip(plan.aggregates, plan.schema.fields):
+        if empty:
+            if spec.function == "COUNT":
+                raw = np.asarray([0], dtype=np.int64)
+            elif fld.dtype is FLOAT64:
+                raw = np.asarray([np.nan], dtype=np.float64)
+            else:
+                raw = np.asarray([0], dtype=np.int64)
+        else:
+            values = (
+                None
+                if spec.argument is None
+                else np.asarray(spec.argument.evaluate(child))
+            )
+            raw = _aggregate_values(spec.function, values, group_ids, 1)
+        columns.append(_cast_aggregate_output(np.asarray(raw), fld.dtype))
+    return Table(plan.schema, columns)
+
+
+def _cast_aggregate_output(raw: np.ndarray, dtype) -> Column:
+    if dtype in (INT64, TIMESTAMP):
+        return Column(dtype, raw.astype(np.int64))
+    if dtype is FLOAT64:
+        return Column(dtype, raw.astype(np.float64))
+    return Column(dtype, raw)

@@ -1,0 +1,163 @@
+"""The Recycler: a budgeted cache for lazily loaded chunks.
+
+The paper reuses MonetDB's Recycler [Ivanova et al., SIGMOD'09] to cache the
+actual data ingested by ``chunk-access`` operators so that subsequent queries
+can use the cheap ``cache-scan`` access path instead (Sections III & V).
+
+This module implements that component with two replacement policies:
+
+* ``lru`` — the plain least-recently-used policy of the original Recycler;
+* ``cost_aware`` — the Section VIII ("Smarter Caching") extension, which
+  scores entries by ``loading_cost × access_frequency / size`` and evicts
+  the lowest score first.
+
+Entries are keyed by chunk URI and hold the decoded :class:`Table` for that
+chunk, plus the observed loading cost used by the cost-aware policy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .errors import StorageError
+from .table import Table
+
+__all__ = ["RecyclerEntry", "RecyclerStats", "Recycler"]
+
+
+@dataclass
+class RecyclerEntry:
+    """One cached chunk."""
+
+    uri: str
+    table: Table
+    loading_cost: float
+    nbytes: int
+    access_count: int = 1
+    last_access: float = field(default_factory=time.monotonic)
+
+    def score(self) -> float:
+        """Cost-aware benefit density: cheap-to-keep, expensive-to-reload wins."""
+        return (self.loading_cost * self.access_count) / max(self.nbytes, 1)
+
+
+@dataclass
+class RecyclerStats:
+    """Counters for experiments (cache effectiveness, Section VI-C hot runs)."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    bytes_evicted: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.bytes_evicted = 0
+
+
+class Recycler:
+    """Size-budgeted chunk cache with pluggable replacement policy.
+
+    The budget mirrors the paper's workload experiments, which "limit the
+    size of the recycler cache holding the lazily loaded files to the size
+    of main memory" (Section VI-E).
+    """
+
+    POLICIES = ("lru", "cost_aware")
+
+    def __init__(
+        self, budget_bytes: int = 1 << 30, policy: str = "lru"
+    ) -> None:
+        if budget_bytes <= 0:
+            raise StorageError("recycler budget must be positive")
+        if policy not in self.POLICIES:
+            raise StorageError(
+                f"unknown recycler policy {policy!r}; choose from {self.POLICIES}"
+            )
+        self.budget_bytes = budget_bytes
+        self.policy = policy
+        self.stats = RecyclerStats()
+        self._entries: dict[str, RecyclerEntry] = {}
+        self._bytes_cached = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def bytes_cached(self) -> int:
+        return self._bytes_cached
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._entries
+
+    def cached_uris(self) -> set[str]:
+        """The set C of cached chunks used by rewrite rule (1)."""
+        return set(self._entries)
+
+    def entries(self) -> Iterator[RecyclerEntry]:
+        return iter(self._entries.values())
+
+    # -- cache protocol ------------------------------------------------------
+
+    def get(self, uri: str) -> Table | None:
+        """Cache-scan: the chunk's table, or None on a miss."""
+        entry = self._entries.get(uri)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        entry.access_count += 1
+        entry.last_access = time.monotonic()
+        self.stats.hits += 1
+        return entry.table
+
+    def put(self, uri: str, table: Table, loading_cost: float) -> bool:
+        """Admit a freshly loaded chunk; returns False if it cannot fit.
+
+        A chunk larger than the whole budget is never admitted (it would
+        evict everything for a single-use entry).
+        """
+        nbytes = table.nbytes
+        if nbytes > self.budget_bytes:
+            return False
+        existing = self._entries.pop(uri, None)
+        if existing is not None:
+            self._bytes_cached -= existing.nbytes
+        self._evict_until_fits(nbytes)
+        self._entries[uri] = RecyclerEntry(
+            uri=uri, table=table, loading_cost=loading_cost, nbytes=nbytes
+        )
+        self._bytes_cached += nbytes
+        self.stats.insertions += 1
+        return True
+
+    def invalidate(self, uri: str) -> None:
+        entry = self._entries.pop(uri, None)
+        if entry is not None:
+            self._bytes_cached -= entry.nbytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes_cached = 0
+
+    # -- replacement ---------------------------------------------------------
+
+    def _evict_until_fits(self, incoming: int) -> None:
+        while self._entries and self._bytes_cached + incoming > self.budget_bytes:
+            victim = self._choose_victim()
+            entry = self._entries.pop(victim)
+            self._bytes_cached -= entry.nbytes
+            self.stats.evictions += 1
+            self.stats.bytes_evicted += entry.nbytes
+
+    def _choose_victim(self) -> str:
+        if self.policy == "lru":
+            return min(self._entries.values(), key=lambda e: e.last_access).uri
+        return min(self._entries.values(), key=lambda e: e.score()).uri

@@ -1,0 +1,21 @@
+"""SQL front-end: a lexer, recursive-descent parser and binder for the
+SELECT subset the paper's workload needs (Queries 1/2 and the T1–T5 types).
+
+Public entry point: :func:`repro.engine.sql.binder.bind_sql`, re-exported
+here as :func:`compile_sql`.
+"""
+
+from .lexer import Token, TokenType, tokenize
+from .parser import parse_select
+from .binder import bind_sql
+
+compile_sql = bind_sql
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse_select",
+    "bind_sql",
+    "compile_sql",
+]

@@ -1,0 +1,85 @@
+"""SQL statement AST produced by the parser, consumed by the binder.
+
+Scalar expressions reuse the engine's :mod:`repro.engine.expressions` AST
+(column references carry the raw, possibly unqualified names from the SQL
+text; the binder resolves them).  Aggregate calls cannot appear in engine
+expressions, so they get their own node here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..expressions import Expression
+
+__all__ = ["AggregateCall", "SelectItem", "OrderItem", "SelectStatement"]
+
+
+class AggregateCall(Expression):
+    """``FUNC(argument)`` in a select list; argument None means COUNT(*).
+
+    This node never reaches the executor: the binder translates it into an
+    :class:`~repro.engine.algebra.AggregateSpec` and replaces references to
+    it with a column ref over the aggregate's output.
+    """
+
+    __slots__ = ("function", "argument")
+
+    def __init__(self, function: str, argument: Expression | None) -> None:
+        self.function = function
+        self.argument = argument
+
+    def evaluate(self, table):  # pragma: no cover - defensive
+        raise NotImplementedError(
+            "AggregateCall must be planned by the binder, not evaluated"
+        )
+
+    def output_type(self, table):  # pragma: no cover - defensive
+        raise NotImplementedError
+
+    def children(self) -> Sequence[Expression]:
+        return () if self.argument is None else (self.argument,)
+
+    def key(self) -> tuple:
+        arg_key = None if self.argument is None else self.argument.key()
+        return ("agg", self.function, arg_key)
+
+    def __repr__(self) -> str:
+        inner = "*" if self.argument is None else repr(self.argument)
+        return f"{self.function}({inner})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output of the select list (``expression [AS alias]``)."""
+
+    expression: Expression
+    alias: str | None = None
+
+    def output_name(self) -> str:
+        if self.alias is not None:
+            return self.alias
+        return repr(self.expression)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass
+class SelectStatement:
+    """A parsed (unbound) SELECT statement."""
+
+    select_items: list[SelectItem]
+    from_name: str
+    where: Expression | None = None
+    group_by: list[Expression] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+    select_star: bool = False

@@ -1,0 +1,160 @@
+"""SQL lexer: text → token stream.
+
+Keywords are case-insensitive; identifiers keep their case.  String
+literals use single quotes with ``''`` escaping.  Numbers are int or float
+literals; qualified names are produced by the parser from IDENT '.' IDENT
+sequences, not by the lexer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import LexerError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    END = "end"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "ORDER",
+        "BY",
+        "HAVING",
+        "LIMIT",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "BETWEEN",
+        "ASC",
+        "DESC",
+        "COUNT",
+        "SUM",
+        "AVG",
+        "MIN",
+        "MAX",
+        "STD",
+        "STDDEV",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+_OPERATORS = ("<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = "(),."
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word.upper()
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`LexerError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = length if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            text, i = _read_string(sql, i)
+            tokens.append(Token(TokenType.STRING, text, i))
+            continue
+        if ch.isdigit():
+            text, i = _read_number(sql, i)
+            tokens.append(Token(TokenType.NUMBER, text, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        matched_operator = None
+        for operator in _OPERATORS:
+            if sql.startswith(operator, i):
+                matched_operator = operator
+                break
+        if matched_operator is not None:
+            normalized = "<>" if matched_operator == "!=" else matched_operator
+            tokens.append(Token(TokenType.OPERATOR, normalized, i))
+            i += len(matched_operator)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise LexerError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted literal starting at ``start``; '' escapes '."""
+    i = start + 1
+    parts: list[str] = []
+    while i < len(sql):
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < len(sql) and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise LexerError("unterminated string literal", start)
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    i = start
+    seen_dot = False
+    while i < len(sql):
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+            continue
+        if (
+            ch == "."
+            and not seen_dot
+            and i + 1 < len(sql)
+            and sql[i + 1].isdigit()
+        ):
+            seen_dot = True
+            i += 1
+            continue
+        break
+    return sql[start:i], i

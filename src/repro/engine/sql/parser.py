@@ -1,0 +1,320 @@
+"""Recursive-descent SQL parser for the supported SELECT subset.
+
+Grammar (EBNF, keywords case-insensitive)::
+
+    select    := SELECT [DISTINCT] (\"*\" | item (\",\" item)*)
+                 FROM name
+                 [WHERE expr]
+                 [GROUP BY column (\",\" column)*]
+                 [ORDER BY column [ASC|DESC] (\",\" ...)*]
+                 [LIMIT number]
+    item      := expr [AS ident | ident]
+    expr      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := [NOT] predicate
+    predicate := additive [cmp additive | IN \"(\" literal, ... \")\"
+                 | BETWEEN additive AND additive]
+    additive  := multiplicative ((\"+\"|\"-\") multiplicative)*
+    multiplicative := unary ((\"*\"|\"/\"|\"%\") unary)*
+    unary     := [\"-\"] primary
+    primary   := literal | name | agg \"(\" (\"*\"|expr) \")\" | \"(\" expr \")\"
+    name      := ident [\".\" ident]
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from ..expressions import (
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    IsIn,
+    Literal,
+)
+from .ast_nodes import AggregateCall, OrderItem, SelectItem, SelectStatement
+from .lexer import Token, TokenType, tokenize
+
+__all__ = ["parse_select", "Parser"]
+
+_AGGREGATE_KEYWORDS = {"COUNT", "SUM", "AVG", "MIN", "MAX", "STD", "STDDEV"}
+_COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse SQL text into a :class:`SelectStatement`."""
+    return Parser(tokenize(sql)).parse_statement()
+
+
+class Parser:
+    """Hand-written recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token utilities ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.END:
+            self._pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise ParseError(f"expected {word}, found {token.text!r}")
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, char: str) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.PUNCT or token.text != char:
+            raise ParseError(f"expected {char!r}, found {token.text!r}")
+        return self._advance()
+
+    def _accept_punct(self, char: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.text == char:
+            self._advance()
+            return True
+        return False
+
+    def _accept_operator(self, *ops: str) -> str | None:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.text in ops:
+            self._advance()
+            return token.text
+        return None
+
+    # -- statement ---------------------------------------------------------------
+
+    def parse_statement(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        select_star = False
+        items: list[SelectItem] = []
+        if self._accept_operator("*"):
+            select_star = True
+        else:
+            items.append(self._parse_select_item())
+            while self._accept_punct(","):
+                items.append(self._parse_select_item())
+        self._expect_keyword("FROM")
+        from_name = self._parse_object_name()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.parse_expression()
+        group_by: list[Expression] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_name_expression())
+            while self._accept_punct(","):
+                group_by.append(self._parse_name_expression())
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                order_by.append(self._parse_order_item())
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            token = self._peek()
+            if token.type is not TokenType.NUMBER:
+                raise ParseError(f"LIMIT expects a number, found {token.text!r}")
+            self._advance()
+            limit = int(token.text)
+        end = self._peek()
+        if end.type is not TokenType.END:
+            raise ParseError(f"unexpected trailing input: {end.text!r}")
+        return SelectStatement(
+            select_items=items,
+            from_name=from_name,
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+            select_star=select_star,
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        expression = self.parse_expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            token = self._peek()
+            if token.type is not TokenType.IDENT:
+                raise ParseError(f"expected alias after AS, found {token.text!r}")
+            alias = self._advance().text
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().text
+        return SelectItem(expression, alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expression = self._parse_name_expression()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(expression, ascending)
+
+    def _parse_object_name(self) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENT:
+            raise ParseError(f"expected table or view name, found {token.text!r}")
+        return self._advance().text
+
+    def _parse_name_expression(self) -> Expression:
+        token = self._peek()
+        if token.type is not TokenType.IDENT:
+            raise ParseError(f"expected column name, found {token.text!r}")
+        return self._parse_qualified_name()
+
+    def _parse_qualified_name(self) -> ColumnRef:
+        first = self._advance().text
+        if self._accept_punct("."):
+            token = self._peek()
+            if token.type is not TokenType.IDENT:
+                raise ParseError(
+                    f"expected column after {first}., found {token.text!r}"
+                )
+            second = self._advance().text
+            return ColumnRef(f"{first}.{second}")
+        return ColumnRef(first)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        operands = [self._parse_and()]
+        while self._accept_keyword("OR"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("OR", operands)
+
+    def _parse_and(self) -> Expression:
+        operands = [self._parse_not()]
+        while self._accept_keyword("AND"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("AND", operands)
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return BooleanOp("NOT", [self._parse_not()])
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expression:
+        left = self._parse_additive()
+        operator = self._accept_operator(*_COMPARISON_OPS)
+        if operator is not None:
+            right = self._parse_additive()
+            return Comparison(operator, left, right)
+        if self._accept_keyword("IN"):
+            self._expect_punct("(")
+            options = [self._parse_literal_value()]
+            while self._accept_punct(","):
+                options.append(self._parse_literal_value())
+            self._expect_punct(")")
+            return IsIn(left, options)
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return BooleanOp(
+                "AND",
+                [Comparison(">=", left, low), Comparison("<=", left, high)],
+            )
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            operator = self._accept_operator("+", "-")
+            if operator is None:
+                return left
+            right = self._parse_multiplicative()
+            left = Arithmetic(operator, left, right)
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            operator = self._accept_operator("*", "/", "%")
+            if operator is None:
+                return left
+            right = self._parse_unary()
+            left = Arithmetic(operator, left, right)
+
+    def _parse_unary(self) -> Expression:
+        if self._accept_operator("-"):
+            operand = self._parse_unary()
+            if isinstance(operand, Literal) and operand.dtype.is_numeric:
+                return Literal(-operand.value, operand.dtype)
+            return Arithmetic("-", Literal(0), operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if "." in token.text:
+                return Literal(float(token.text))
+            return Literal(int(token.text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.text)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return Literal(False)
+        if token.type is TokenType.KEYWORD and token.text in _AGGREGATE_KEYWORDS:
+            return self._parse_aggregate_call()
+        if token.type is TokenType.PUNCT and token.text == "(":
+            self._advance()
+            inner = self.parse_expression()
+            self._expect_punct(")")
+            return inner
+        if token.type is TokenType.IDENT:
+            return self._parse_qualified_name()
+        raise ParseError(f"unexpected token {token.text!r} in expression")
+
+    def _parse_aggregate_call(self) -> AggregateCall:
+        token = self._advance()
+        function = "STD" if token.text == "STDDEV" else token.text
+        self._expect_punct("(")
+        if self._accept_operator("*"):
+            if function != "COUNT":
+                raise ParseError(f"{function}(*) is not supported")
+            self._expect_punct(")")
+            return AggregateCall("COUNT", None)
+        argument = self.parse_expression()
+        self._expect_punct(")")
+        return AggregateCall(function, argument)
+
+    def _parse_literal_value(self):
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.text
+        raise ParseError(f"expected literal in list, found {token.text!r}")

@@ -1,0 +1,95 @@
+"""CSV serialization of xseed chunks — the Eager-csv loading path.
+
+The paper's ``eager_csv`` variant first converts every mSEED file into CSV
+text and then bulk-loads the CSV with ``COPY INTO``; its cost is dominated
+by "expensive serialization to and parsing from a textual (CSV)
+representation" (Section VI-B), and Table III shows the CSV blow-up
+(1.3 GB of mSEED becomes 45.5 GB of CSV).  This module reproduces both the
+serialization and the parsing sides; timestamp rendering/parsing is
+vectorized (NumPy datetime64) — it is still a genuine full text round trip,
+just not a per-row Python loop.
+
+CSV layout (one row per sample)::
+
+    file_id,segment_no,sample_time,sample_value
+    17,3,2010-04-20T23:00:00.000,-1042
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..engine.errors import FormatError
+from . import reader
+
+__all__ = ["volume_to_csv", "parse_csv", "CSV_HEADER"]
+
+CSV_HEADER = "file_id,segment_no,sample_time,sample_value"
+
+
+def volume_to_csv(xseed_path: str, csv_path: str, file_id: int) -> int:
+    """Decode one volume and serialize its samples as CSV text.
+
+    Returns the bytes written.  Timestamps are serialized in full ISO form —
+    the explicit materialization the paper calls out as a major cost.
+    """
+    os.makedirs(os.path.dirname(os.path.abspath(csv_path)), exist_ok=True)
+    written = 0
+    with open(csv_path, "w", encoding="ascii") as handle:
+        handle.write(CSV_HEADER + "\n")
+        written += len(CSV_HEADER) + 1
+        for segment in reader.read_samples(xseed_path):
+            if not len(segment.values):
+                continue
+            iso_times = np.datetime_as_string(
+                segment.times_ms.astype("datetime64[ms]"), unit="ms"
+            )
+            prefix = f"{file_id},{segment.header.segment_no},"
+            value_text = segment.values.astype("U20")
+            lines = np.char.add(
+                np.char.add(
+                    np.char.add(prefix, iso_times), ","
+                ),
+                value_text,
+            )
+            block = "\n".join(lines.tolist()) + "\n"
+            handle.write(block)
+            written += len(block)
+    return written
+
+
+def parse_csv(
+    csv_path: str,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Parse a CSV file back into (file_id, segment_no, time_ms, value) arrays.
+
+    This is the ``COPY INTO`` half of the eager_csv pipeline: full text
+    parsing of every field including the ISO timestamps.
+    """
+    with open(csv_path, "r", encoding="ascii") as handle:
+        header = handle.readline().rstrip("\n")
+        if header != CSV_HEADER:
+            raise FormatError(f"{csv_path}: unexpected CSV header {header!r}")
+        body = handle.read()
+    lines = body.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    try:
+        parts = [line.split(",") for line in lines]
+        columns = list(zip(*parts))
+        if len(columns) != 4:
+            raise ValueError("wrong field count")
+        file_ids = np.asarray(columns[0], dtype=np.int64)
+        segment_nos = np.asarray(columns[1], dtype=np.int64)
+        times = (
+            np.asarray(columns[2], dtype="datetime64[ms]").astype(np.int64)
+        )
+        values = np.asarray(columns[3], dtype=np.int64)
+    except ValueError as exc:
+        raise FormatError(f"{csv_path}: malformed CSV body ({exc})") from exc
+    return file_ids, segment_nos, times, values

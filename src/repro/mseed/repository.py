@@ -1,0 +1,65 @@
+"""File repository abstraction over a directory of xseed chunks.
+
+The paper's sommelier metaphor: the repository is the wine cellar.  Millions
+of mSEED files sit in remote FTP repositories; here a repository is a local
+directory tree (the Section VIII "other sources" extension point — an HTTP
+or HDFS listing would implement the same interface).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["ChunkInfo", "FileRepository"]
+
+XSEED_SUFFIX = ".xseed"
+
+
+@dataclass(frozen=True)
+class ChunkInfo:
+    """One chunk as listed by the repository."""
+
+    uri: str
+    size_bytes: int
+
+
+class FileRepository:
+    """A directory tree of xseed chunk files.
+
+    URIs are absolute file paths; listing is deterministic (sorted) so
+    experiments are reproducible.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+
+    def exists(self) -> bool:
+        """Whether the repository directory is present on disk."""
+        return os.path.isdir(self.root)
+
+    def list_chunks(self) -> list[ChunkInfo]:
+        """All chunks, sorted by URI."""
+        chunks: list[ChunkInfo] = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for filename in filenames:
+                if not filename.endswith(XSEED_SUFFIX):
+                    continue
+                path = os.path.join(dirpath, filename)
+                chunks.append(ChunkInfo(path, os.path.getsize(path)))
+        chunks.sort(key=lambda c: c.uri)
+        return chunks
+
+    def iter_uris(self) -> Iterator[str]:
+        """Yield chunk URIs in sorted order."""
+        for chunk in self.list_chunks():
+            yield chunk.uri
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.list_chunks())
+
+    def total_bytes(self) -> int:
+        """Size of the raw repository (Table III's mSEED column)."""
+        return sum(chunk.size_bytes for chunk in self.list_chunks())

@@ -1,0 +1,120 @@
+"""Steim-like waveform compression: zigzag delta coding with bit-packed frames.
+
+Real SEED volumes compress waveforms with the Steim-1/2 codecs: per-frame
+difference coding with variable bit widths.  We implement the same idea in a
+vectorizable form:
+
+* the sample stream is delta-encoded (first value kept verbatim);
+* deltas are zigzag-mapped to unsigned integers;
+* values are grouped into frames of :data:`FRAME_SAMPLES`; each frame picks
+  the smallest bit width that holds its largest value and packs all values
+  at that width (LSB-first).
+
+Like Steim, smooth seismic signals (small deltas) compress to a few bits per
+sample while the decompressed form expands by an order of magnitude — the
+size asymmetry behind the paper's Table III.
+
+All encode/decode paths are NumPy-vectorized; nothing loops per sample.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..engine.errors import FormatError
+
+__all__ = ["encode", "decode", "FRAME_SAMPLES"]
+
+FRAME_SAMPLES = 512
+_HEADER = struct.Struct("<IQ")  # sample count, first value (zigzagged)
+
+
+def _zigzag(values: np.ndarray) -> np.ndarray:
+    """Map signed int64 to unsigned so small magnitudes get small codes."""
+    signed = values.astype(np.int64, copy=False)
+    return ((signed << 1) ^ (signed >> 63)).view(np.uint64)
+
+
+def _unzigzag(codes: np.ndarray) -> np.ndarray:
+    unsigned = codes.astype(np.uint64, copy=False)
+    return ((unsigned >> 1).astype(np.int64)) ^ -(
+        (unsigned & 1).astype(np.int64)
+    )
+
+
+def _pack_frame(codes: np.ndarray) -> bytes:
+    """Pack one frame of unsigned codes at its minimal bit width."""
+    width = int(codes.max()).bit_length() if len(codes) else 0
+    if width == 0:
+        return struct.pack("<BH", 0, len(codes))
+    bits = (
+        (codes[:, None] >> np.arange(width, dtype=np.uint64)) & np.uint64(1)
+    ).astype(np.uint8)
+    packed = np.packbits(bits.reshape(-1), bitorder="little")
+    return struct.pack("<BH", width, len(codes)) + packed.tobytes()
+
+
+def _unpack_frame(payload: bytes, offset: int) -> tuple[np.ndarray, int]:
+    if offset + 3 > len(payload):
+        raise FormatError("truncated steim frame header")
+    width, count = struct.unpack_from("<BH", payload, offset)
+    offset += 3
+    if width == 0:
+        return np.zeros(count, dtype=np.uint64), offset
+    nbytes = (count * width + 7) // 8
+    if offset + nbytes > len(payload):
+        raise FormatError("truncated steim frame payload")
+    raw = np.frombuffer(payload, dtype=np.uint8, count=nbytes, offset=offset)
+    bits = np.unpackbits(raw, bitorder="little")[: count * width]
+    matrix = bits.reshape(count, width).astype(np.uint64)
+    weights = np.uint64(1) << np.arange(width, dtype=np.uint64)
+    codes = (matrix * weights).sum(axis=1, dtype=np.uint64)
+    return codes, offset + nbytes
+
+
+def encode(samples: np.ndarray) -> bytes:
+    """Compress an integer sample array; empty input is legal."""
+    values = np.asarray(samples, dtype=np.int64)
+    if values.ndim != 1:
+        raise FormatError("steim encode expects a 1-D sample array")
+    if len(values) == 0:
+        return _HEADER.pack(0, 0)
+    first = int(_zigzag(values[:1])[0])
+    deltas = np.diff(values)
+    codes = _zigzag(deltas)
+    parts = [_HEADER.pack(len(values), first)]
+    for start in range(0, len(codes), FRAME_SAMPLES):
+        parts.append(_pack_frame(codes[start : start + FRAME_SAMPLES]))
+    return b"".join(parts)
+
+
+def decode(payload: bytes) -> np.ndarray:
+    """Decompress back to the original int64 sample array."""
+    if len(payload) < _HEADER.size:
+        raise FormatError("truncated steim header")
+    count, first_zz = _HEADER.unpack_from(payload, 0)
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    first = int(_unzigzag(np.asarray([first_zz], dtype=np.uint64))[0])
+    offset = _HEADER.size
+    frames: list[np.ndarray] = []
+    decoded = 0
+    while decoded < count - 1:
+        codes, offset = _unpack_frame(payload, offset)
+        frames.append(codes)
+        decoded += len(codes)
+    if decoded != count - 1:
+        raise FormatError(
+            f"steim payload decoded {decoded} deltas, expected {count - 1}"
+        )
+    if frames:
+        deltas = _unzigzag(np.concatenate(frames))
+        samples = np.empty(count, dtype=np.int64)
+        samples[0] = first
+        np.cumsum(deltas, out=samples[1:])
+        samples[1:] += first
+    else:
+        samples = np.asarray([first], dtype=np.int64)
+    return samples

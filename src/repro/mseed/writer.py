@@ -1,0 +1,84 @@
+"""xseed volume writer.
+
+Used by the synthetic dataset builder (:mod:`repro.data.ingv`) to produce
+file repositories, and by tests to craft hand-made chunks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.errors import FormatError
+from . import steim
+from .format import (
+    BYTE_ORDER_LITTLE,
+    ENCODING_STEIM_LIKE,
+    SegmentHeader,
+    VolumeHeader,
+    pack_segment_header,
+    pack_volume_header,
+)
+
+__all__ = ["SegmentData", "write_volume"]
+
+
+@dataclass(frozen=True)
+class SegmentData:
+    """One segment to be written: its timing plus the raw samples."""
+
+    segment_no: int
+    start_time_ms: int
+    frequency: float
+    samples: np.ndarray
+
+
+def write_volume(
+    path: str,
+    network: str,
+    station: str,
+    location: str,
+    channel: str,
+    segments: list[SegmentData],
+    quality: str = "D",
+) -> int:
+    """Write one xseed volume; returns bytes written.
+
+    Segments are written in the order given; segment numbers must be unique
+    within the volume (they are the paper's per-file segment identifiers).
+    """
+    seen = {s.segment_no for s in segments}
+    if len(seen) != len(segments):
+        raise FormatError(f"duplicate segment numbers in volume {path!r}")
+    header = VolumeHeader(
+        network=network,
+        station=station,
+        location=location,
+        channel=channel,
+        quality=quality,
+        encoding=ENCODING_STEIM_LIKE,
+        byte_order=BYTE_ORDER_LITTLE,
+        n_segments=len(segments),
+    )
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    written = 0
+    with open(path, "wb") as handle:
+        blob = pack_volume_header(header)
+        handle.write(blob)
+        written += len(blob)
+        for segment in segments:
+            payload = steim.encode(np.asarray(segment.samples, dtype=np.int64))
+            seg_header = SegmentHeader(
+                segment_no=segment.segment_no,
+                start_time_ms=segment.start_time_ms,
+                frequency=segment.frequency,
+                sample_count=len(segment.samples),
+                payload_bytes=len(payload),
+            )
+            head_blob = pack_segment_header(seg_header)
+            handle.write(head_blob)
+            handle.write(payload)
+            written += len(head_blob) + len(payload)
+    return written

@@ -1,0 +1,30 @@
+"""Query templates (T1–T5) and selectivity-controlled workload generation."""
+
+from .generator import TimeSpan, WorkloadSpec, generate_workload, selectivity_range
+from .queries import (
+    QUERY1,
+    QUERY2,
+    QUERY_BUILDERS,
+    QueryParams,
+    t1_query,
+    t2_query,
+    t3_query,
+    t4_query,
+    t5_query,
+)
+
+__all__ = [
+    "QUERY1",
+    "QUERY2",
+    "QUERY_BUILDERS",
+    "QueryParams",
+    "TimeSpan",
+    "WorkloadSpec",
+    "generate_workload",
+    "selectivity_range",
+    "t1_query",
+    "t2_query",
+    "t3_query",
+    "t4_query",
+    "t5_query",
+]

@@ -1,0 +1,94 @@
+"""Selectivity-controlled workload generation (Sections VI-D and VI-E).
+
+*Query selectivity* is the fraction of the dataset's time span one query
+touches.  *Workload selectivity* is the fraction of the time span the whole
+workload covers; queries are placed uniformly at random inside the workload
+space, which is anchored at the start of the data (the paper: "workload
+queries are randomly distributed over the workload space and we make sure
+that the workload space is fully covered").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .queries import QUERY_BUILDERS, QueryParams
+
+__all__ = ["TimeSpan", "selectivity_range", "WorkloadSpec", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class TimeSpan:
+    """The dataset's overall time extent."""
+
+    start_ms: int
+    end_ms: int
+
+    @property
+    def length_ms(self) -> int:
+        return self.end_ms - self.start_ms
+
+
+def selectivity_range(span: TimeSpan, selectivity: float) -> tuple[int, int]:
+    """The time range of one query with the given selectivity, front-anchored.
+
+    Selectivity 0 yields an empty range (used for the 0% = preparation-only
+    points of Figures 8/9); selectivity 1 covers the whole span.
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
+    length = int(span.length_ms * selectivity)
+    return span.start_ms, span.start_ms + length
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload of the Section VI-E experiments."""
+
+    query_type: str  # 'T2'..'T5'
+    num_queries: int
+    query_selectivity: float  # fraction of the data span per query
+    workload_selectivity: float  # fraction of the data span covered overall
+    station: str = "FIAM"
+    channel: str = "HHZ"
+    seed: int = 20150413  # ICDE'15 conference date; any constant works
+
+
+def generate_workload(spec: WorkloadSpec, span: TimeSpan) -> list[str]:
+    """Generate the SQL texts of one workload.
+
+    Query starts are drawn uniformly from the workload space (the first
+    ``workload_selectivity`` fraction of the span), with the first query
+    pinned to the space's start and the last pinned to its end so the space
+    is fully covered.
+    """
+    if spec.query_type not in QUERY_BUILDERS:
+        raise ValueError(f"unknown query type {spec.query_type!r}")
+    builder = QUERY_BUILDERS[spec.query_type]
+    rng = np.random.default_rng(spec.seed)
+    query_len = int(span.length_ms * spec.query_selectivity)
+    space_len = int(span.length_ms * spec.workload_selectivity)
+    space_start = span.start_ms
+    space_end = space_start + space_len
+    max_start = max(space_end - query_len, space_start)
+
+    starts = rng.integers(
+        space_start, max_start + 1, size=spec.num_queries
+    ).astype(np.int64)
+    if spec.num_queries >= 1:
+        starts[0] = space_start
+    if spec.num_queries >= 2:
+        starts[-1] = max_start
+
+    queries: list[str] = []
+    for start in starts:
+        params = QueryParams(
+            station=spec.station,
+            channel=spec.channel,
+            start_ms=int(start),
+            end_ms=int(start) + query_len,
+        )
+        queries.append(builder(params))
+    return queries

@@ -1,0 +1,157 @@
+"""The T1–T5 query templates of the evaluation (Section VI-A).
+
+Each builder returns SQL text parameterized by station/channel/time range:
+
+* **T1** — joins GMd tables, selection on station, computes an aggregate;
+* **T2** — DMd only, predicates on ``window_station``/``window_start_ts``;
+* **T3** — the T2 query joined with the GMd tables;
+* **T4** — aggregate over actual data joined with GMd, selections on both
+  GMd and AD (this is the paper's Query 1 / short-term-average shape);
+* **T5** — aggregate over actual data joined with GMd and DMd, selections
+  on GMd and DMd but *not* on AD (the paper's Query 2 shape).
+
+:data:`QUERY1` and :data:`QUERY2` are the verbatim examples of Figures 2/3
+(modulo the synthetic dataset's time ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.types import format_timestamp
+
+__all__ = [
+    "QueryParams",
+    "t1_query",
+    "t2_query",
+    "t3_query",
+    "t4_query",
+    "t5_query",
+    "QUERY_BUILDERS",
+    "QUERY1",
+    "QUERY2",
+]
+
+
+@dataclass(frozen=True)
+class QueryParams:
+    """Common parameters of the domain queries."""
+
+    station: str = "ISK"
+    channel: str = "BHE"
+    start_ms: int = 0
+    end_ms: int = 0
+    max_val_threshold: float = 10000.0
+    std_dev_threshold: float = 10.0
+
+    @property
+    def start_iso(self) -> str:
+        return format_timestamp(self.start_ms)
+
+    @property
+    def end_iso(self) -> str:
+        return format_timestamp(self.end_ms)
+
+
+def t1_query(params: QueryParams) -> str:
+    """GMd only: per-station segment statistics."""
+    return f"""
+        SELECT F.station AS station,
+               COUNT(S.segment_no) AS segments,
+               SUM(S.sample_count) AS samples,
+               AVG(S.frequency) AS avg_frequency
+        FROM gmdview
+        WHERE F.station = '{params.station}'
+        GROUP BY F.station
+    """
+
+
+def t2_query(params: QueryParams) -> str:
+    """DMd only: window summaries for a station and time range."""
+    return f"""
+        SELECT H.window_start_ts AS window_start_ts,
+               H.window_max_val AS max_val,
+               H.window_mean_val AS mean_val,
+               H.window_std_dev AS std_dev
+        FROM H
+        WHERE H.window_station = '{params.station}'
+          AND H.window_start_ts >= '{params.start_iso}'
+          AND H.window_start_ts < '{params.end_iso}'
+        ORDER BY window_start_ts
+    """
+
+
+def t3_query(params: QueryParams) -> str:
+    """DMd joined with GMd tables."""
+    return f"""
+        SELECT H.window_start_ts AS window_start_ts,
+               MAX(H.window_max_val) AS max_val,
+               COUNT(S.segment_no) AS overlapping_segments
+        FROM windowmetaview
+        WHERE F.station = '{params.station}'
+          AND H.window_start_ts >= '{params.start_iso}'
+          AND H.window_start_ts < '{params.end_iso}'
+        GROUP BY H.window_start_ts
+        ORDER BY window_start_ts
+    """
+
+
+def t4_query(params: QueryParams) -> str:
+    """GMd + AD with a selection on the actual data (Query 1 shape)."""
+    return f"""
+        SELECT AVG(D.sample_value) AS avg_value,
+               COUNT(D.sample_value) AS n_samples
+        FROM dataview
+        WHERE F.station = '{params.station}'
+          AND F.channel = '{params.channel}'
+          AND D.sample_time >= '{params.start_iso}'
+          AND D.sample_time < '{params.end_iso}'
+    """
+
+
+def t5_query(params: QueryParams) -> str:
+    """GMd + DMd + AD, selections on GMd and DMd only (Query 2 shape)."""
+    return f"""
+        SELECT MAX(D.sample_value) AS max_value,
+               COUNT(D.sample_value) AS n_samples
+        FROM windowdataview
+        WHERE F.station = '{params.station}'
+          AND F.channel = '{params.channel}'
+          AND H.window_start_ts >= '{params.start_iso}'
+          AND H.window_start_ts < '{params.end_iso}'
+          AND H.window_max_val > {params.max_val_threshold}
+          AND H.window_std_dev > {params.std_dev_threshold}
+    """
+
+
+QUERY_BUILDERS = {
+    "T1": t1_query,
+    "T2": t2_query,
+    "T3": t3_query,
+    "T4": t4_query,
+    "T5": t5_query,
+}
+
+# The paper's verbatim examples (Figures 2 and 3), retargeted at the
+# synthetic dataset's epoch: every dataset starts 2010-01-01 and spans at
+# least two days, so Query 1 probes a 2-second window on day 0 (the paper
+# used 2010-01-12) and Query 2 probes the three hours around the first
+# midnight (the paper used 2010-04-20/21).
+QUERY1 = """
+    SELECT AVG(D.sample_value) AS avg_value
+    FROM dataview
+    WHERE F.station = 'ISK' AND F.channel = 'BHE'
+      AND D.sample_time > '2010-01-01T12:15:00.000'
+      AND D.sample_time < '2010-01-01T12:15:02.000'
+"""
+
+QUERY2 = """
+    SELECT D.sample_time, D.sample_value
+    FROM windowdataview
+    WHERE F.station = 'FIAM'
+      AND F.channel = 'HHZ'
+      AND H.window_start_ts >= '2010-01-01T23:00:00.000'
+      AND H.window_start_ts < '2010-01-02T02:00:00.000'
+      AND H.window_max_val > 10000
+      AND H.window_std_dev > 10
+"""

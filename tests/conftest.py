@@ -1,0 +1,73 @@
+"""Shared fixtures: tiny synthetic repositories and prepared databases.
+
+Repository builds are session-scoped (deterministic, so safe to share);
+databases are function-scoped unless the test only reads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.loading import prepare
+from repro.data import SCALE_TEST, build_or_reuse
+from repro.data.ingv import EPOCH_2010_MS
+
+MILLIS_PER_DAY = 24 * 3600 * 1000
+
+
+@pytest.fixture(scope="session")
+def repo_base(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("repos"))
+
+
+@pytest.fixture(scope="session")
+def tiny_repo(repo_base):
+    """sf-1 test-scale repository: 8 files (4 stations x 2 days)."""
+    repository, stats = build_or_reuse(repo_base, 1, SCALE_TEST)
+    return repository, stats
+
+
+@pytest.fixture(scope="session")
+def tiny_fiam_repo(repo_base):
+    """FIAM-only test-scale repository (for selectivity workloads)."""
+    repository, stats = build_or_reuse(repo_base, 1, SCALE_TEST, fiam_only=True)
+    return repository, stats
+
+
+@pytest.fixture()
+def lazy_db(tiny_repo):
+    db, report = prepare("lazy", tiny_repo[0])
+    yield db
+    db.close()
+
+
+@pytest.fixture()
+def eager_db(tiny_repo):
+    db, report = prepare("eager_plain", tiny_repo[0])
+    yield db
+    db.close()
+
+
+@pytest.fixture()
+def eager_index_db(tiny_repo):
+    db, report = prepare("eager_index", tiny_repo[0])
+    yield db
+    db.close()
+
+
+@pytest.fixture()
+def eager_dmd_db(tiny_repo):
+    db, report = prepare("eager_dmd", tiny_repo[0])
+    yield db
+    db.close()
+
+
+@pytest.fixture()
+def day_range():
+    """The first full day of the synthetic datasets."""
+    return EPOCH_2010_MS, EPOCH_2010_MS + MILLIS_PER_DAY
+
+
+@pytest.fixture()
+def two_day_range():
+    return EPOCH_2010_MS, EPOCH_2010_MS + 2 * MILLIS_PER_DAY

@@ -1,0 +1,98 @@
+"""Unit tests for the benchmark harness (reporting, profiles, timing)."""
+
+import os
+
+import pytest
+
+from repro.bench.profiles import BENCH_SCALES, PROFILES, active_profile
+from repro.bench.reporting import (
+    ReportTable,
+    format_bytes,
+    format_seconds,
+)
+from repro.bench.timing import measure_cold_hot, time_call
+
+
+class TestFormatting:
+    def test_seconds_ranges(self):
+        assert format_seconds(0.0123) == "12.3ms"
+        assert format_seconds(1.5) == "1.50s"
+        assert format_seconds(250.0) == "250s"
+
+    def test_bytes_ranges(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.0KB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0MB"
+        assert format_bytes(5 << 30) == "5.0GB"
+
+
+class TestReportTable:
+    def test_render_aligned(self):
+        table = ReportTable("Demo", ["a", "bee"])
+        table.add_row("x", 1)
+        table.add_row("longer", 22)
+        text = table.render()
+        assert "Demo" in text
+        lines = text.splitlines()
+        assert len({len(l) for l in lines[2:5]}) <= 2  # headers+rows aligned
+
+    def test_row_width_checked(self):
+        table = ReportTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_notes_rendered(self):
+        table = ReportTable("T", ["a"])
+        table.add_row(1)
+        table.add_note("hello")
+        assert "note: hello" in table.render()
+
+    def test_save(self, tmp_path):
+        table = ReportTable("T", ["a"])
+        table.add_row(42)
+        path = table.save("out.txt", root=str(tmp_path))
+        assert os.path.isfile(path)
+        assert "42" in open(path).read()
+
+
+class TestProfiles:
+    def test_default_profile_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+        assert active_profile().name == "quick"
+
+    def test_env_selects_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "small")
+        assert active_profile().name == "small"
+
+    def test_unknown_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "warp")
+        with pytest.raises(ValueError):
+            active_profile()
+
+    def test_all_profiles_cover_four_scale_factors(self):
+        for profile in PROFILES.values():
+            assert profile.scale_factors == (1, 3, 9, 27)
+
+    def test_scale_names_unique(self):
+        names = [s.name for s in BENCH_SCALES.values()]
+        assert len(set(names)) == len(names)
+
+    def test_paper_profile_day_counts(self):
+        paper = PROFILES["paper"]
+        assert paper.scale.days_for_sf(27) == 1096
+
+
+class TestTiming:
+    def test_time_call_positive(self):
+        assert time_call(lambda: sum(range(1000))) > 0
+
+    def test_measure_cold_hot(self, lazy_db, day_range):
+        from repro.workloads import QueryParams, t4_query
+
+        start, end = day_range
+        sql = t4_query(QueryParams("ISK", "BHE", start, end))
+        timing = measure_cold_hot(lazy_db, sql, runs=1)
+        assert timing.cold_seconds > 0
+        assert timing.hot_seconds > 0
+        # Cold includes chunk loading; hot hits the recycler.
+        assert timing.hot_seconds <= timing.cold_seconds * 5

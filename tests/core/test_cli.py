@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_build_command(self):
+        args = build_parser().parse_args(
+            ["build", "--base", "/tmp/x", "--sf", "3", "--scale", "test"]
+        )
+        assert args.command == "build"
+        assert args.sf == 3
+
+    def test_query_requires_sql(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--base", "/tmp/x"])
+
+    def test_bench_experiments_enumerated(self):
+        args = build_parser().parse_args(
+            ["bench", "--experiment", "table2"]
+        )
+        assert args.experiment == "table2"
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["build", "--base", "/tmp/x", "--sf", "5"]
+            )
+
+    def test_invalid_approach(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--base", "x", "--sql", "s", "--approach", "turbo"]
+            )
+
+
+class TestCommands:
+    def test_build_and_inspect(self, tmp_path, capsys):
+        base = str(tmp_path / "data")
+        assert main(["build", "--base", base, "--sf", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "8 files" in out
+        assert main(["inspect", "--base", base, "--sf", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "total: 8 chunks" in out
+
+    def test_query_lazy(self, tmp_path, capsys):
+        base = str(tmp_path / "data")
+        main(["build", "--base", base, "--sf", "1"])
+        capsys.readouterr()
+        code = main(
+            [
+                "query",
+                "--base",
+                base,
+                "--sf",
+                "1",
+                "--sql",
+                "SELECT F.station AS s, COUNT(S.segment_no) AS n "
+                "FROM gmdview GROUP BY F.station ORDER BY s",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "'s': 'ARCI'" in out
+        assert "0 chunk(s) loaded" in out
+
+    def test_query_explain(self, tmp_path, capsys):
+        base = str(tmp_path / "data")
+        main(["build", "--base", base, "--sf", "1"])
+        capsys.readouterr()
+        code = main(
+            [
+                "query",
+                "--base",
+                base,
+                "--sf",
+                "1",
+                "--explain",
+                "--sql",
+                "SELECT COUNT(D.sample_value) AS n FROM dataview "
+                "WHERE F.station = 'ISK'",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MAL program" in out

@@ -1,0 +1,104 @@
+"""Unit tests for Algorithm 1's predicate-extraction internals."""
+
+import pytest
+
+from repro.core.partial_views import (
+    _aliases_of,
+    _column_equivalence_classes,
+    _merge,
+    _string_constraint,
+    _time_constraint,
+)
+from repro.engine.expressions import Comparison, IsIn, col, lit
+from repro.engine.types import TIMESTAMP
+
+
+class TestStringConstraint:
+    def test_equality(self):
+        pred = Comparison("=", col("H.window_station"), lit("FIAM"))
+        assert _string_constraint(pred, "H.window_station") == {"FIAM"}
+
+    def test_flipped_equality(self):
+        pred = Comparison("=", lit("FIAM"), col("H.window_station"))
+        assert _string_constraint(pred, "H.window_station") == {"FIAM"}
+
+    def test_in_list(self):
+        pred = IsIn(col("H.window_station"), ["A", "B"])
+        assert _string_constraint(pred, "H.window_station") == {"A", "B"}
+
+    def test_other_column_ignored(self):
+        pred = Comparison("=", col("H.window_channel"), lit("HHZ"))
+        assert _string_constraint(pred, "H.window_station") is None
+
+    def test_range_predicate_ignored(self):
+        pred = Comparison(">", col("H.window_station"), lit("A"))
+        assert _string_constraint(pred, "H.window_station") is None
+
+
+class TestTimeConstraint:
+    COL = "H.window_start_ts"
+
+    def test_greater_equal(self):
+        pred = Comparison(">=", col(self.COL), lit(1000, TIMESTAMP))
+        assert _time_constraint(pred, self.COL) == (1000, None)
+
+    def test_strictly_greater_shifts(self):
+        pred = Comparison(">", col(self.COL), lit(1000, TIMESTAMP))
+        assert _time_constraint(pred, self.COL) == (1001, None)
+
+    def test_less_than(self):
+        pred = Comparison("<", col(self.COL), lit(2000, TIMESTAMP))
+        assert _time_constraint(pred, self.COL) == (None, 2000)
+
+    def test_less_equal_shifts(self):
+        pred = Comparison("<=", col(self.COL), lit(2000, TIMESTAMP))
+        assert _time_constraint(pred, self.COL) == (None, 2001)
+
+    def test_equality_is_point_range(self):
+        pred = Comparison("=", col(self.COL), lit(1500, TIMESTAMP))
+        assert _time_constraint(pred, self.COL) == (1500, 1501)
+
+    def test_flipped_orientation(self):
+        pred = Comparison("<=", lit(1000, TIMESTAMP), col(self.COL))
+        assert _time_constraint(pred, self.COL) == (1000, None)
+
+    def test_unrelated_column(self):
+        pred = Comparison(">=", col("D.sample_time"), lit(1, TIMESTAMP))
+        assert _time_constraint(pred, self.COL) == (None, None)
+
+
+class TestEquivalenceClasses:
+    def test_direct_equality(self):
+        preds = [Comparison("=", col("H.window_station"), col("F.station"))]
+        classes = _column_equivalence_classes(preds)
+        assert _aliases_of("H.window_station", classes) == {
+            "H.window_station",
+            "F.station",
+        }
+
+    def test_transitive_merge(self):
+        preds = [
+            Comparison("=", col("A.x"), col("B.y")),
+            Comparison("=", col("B.y"), col("C.z")),
+        ]
+        classes = _column_equivalence_classes(preds)
+        assert _aliases_of("A.x", classes) == {"A.x", "B.y", "C.z"}
+
+    def test_literal_comparisons_ignored(self):
+        preds = [Comparison("=", col("A.x"), lit(5))]
+        assert _column_equivalence_classes(preds) == []
+
+    def test_unrelated_column_alias_is_self(self):
+        assert _aliases_of("Q.q", []) == {"Q.q"}
+
+
+class TestMerge:
+    def test_both_none(self):
+        assert _merge(None, None) is None
+
+    def test_one_side(self):
+        assert _merge(None, {"A"}) == {"A"}
+        assert _merge({"A"}, None) == {"A"}
+
+    def test_intersection(self):
+        assert _merge({"A", "B"}, {"B", "C"}) == {"B"}

@@ -1,0 +1,134 @@
+"""Unit tests for the run-time rewrite (rewrite rule (1)) in isolation."""
+
+import pytest
+
+from repro.core.runtime_rewrite import RewriteReport, rewrite_actual_scans
+from repro.engine import algebra
+from repro.engine.expressions import Comparison, col, lit
+from repro.workloads import QueryParams, t4_query
+
+
+def find_nodes(plan, node_type):
+    found = []
+
+    def visit(node):
+        if isinstance(node, node_type):
+            found.append(node)
+        for child in node.children():
+            visit(child)
+
+    visit(plan)
+    return found
+
+
+@pytest.fixture()
+def scan_d(lazy_db):
+    return algebra.Scan("D", lazy_db.database.qualified_schema("D"))
+
+
+@pytest.fixture()
+def uris(lazy_db):
+    return sorted(lazy_db.database.catalog.table("F").data.column("uri"))[:3]
+
+
+class TestRewriteRule1:
+    def test_plain_scan_becomes_union(self, lazy_db, scan_d, uris):
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            scan_d, lazy_db.database, lazy_db.config, uris, report
+        )
+        assert isinstance(rewritten, algebra.Union)
+        assert len(rewritten.children()) == 3
+        assert report.rewrote_scans == 1
+
+    def test_all_uncached_become_chunk_access(self, lazy_db, scan_d, uris):
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            scan_d, lazy_db.database, lazy_db.config, uris, report
+        )
+        assert len(find_nodes(rewritten, algebra.ChunkAccess)) == 3
+        assert len(find_nodes(rewritten, algebra.CacheScan)) == 0
+
+    def test_cached_chunks_become_cache_scans(self, lazy_db, scan_d, uris):
+        # Warm one chunk into the recycler.
+        table, cost = lazy_db.database.load_chunk(uris[0], "D")
+        lazy_db.database.recycler.put(uris[0], table, cost)
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            scan_d, lazy_db.database, lazy_db.config, uris, report
+        )
+        assert len(find_nodes(rewritten, algebra.CacheScan)) == 1
+        assert len(find_nodes(rewritten, algebra.ChunkAccess)) == 2
+
+    def test_selection_pushed_into_chunk_access(self, lazy_db, scan_d, uris):
+        predicate = Comparison(">", col("D.sample_value"), lit(0))
+        plan = algebra.Select(scan_d, predicate)
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            plan, lazy_db.database, lazy_db.config, uris, report,
+            push_selections=True,
+        )
+        accesses = find_nodes(rewritten, algebra.ChunkAccess)
+        assert all(a.pushed_predicate is predicate for a in accesses)
+
+    def test_selection_stays_above_without_push(self, lazy_db, scan_d, uris):
+        predicate = Comparison(">", col("D.sample_value"), lit(0))
+        plan = algebra.Select(scan_d, predicate)
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            plan, lazy_db.database, lazy_db.config, uris, report,
+            push_selections=False,
+        )
+        assert isinstance(rewritten, algebra.Select)
+        accesses = find_nodes(rewritten, algebra.ChunkAccess)
+        assert all(a.pushed_predicate is None for a in accesses)
+
+    def test_selection_above_cache_scan(self, lazy_db, scan_d, uris):
+        table, cost = lazy_db.database.load_chunk(uris[0], "D")
+        lazy_db.database.recycler.put(uris[0], table, cost)
+        predicate = Comparison(">", col("D.sample_value"), lit(0))
+        plan = algebra.Select(scan_d, predicate)
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            plan, lazy_db.database, lazy_db.config, [uris[0]], report
+        )
+        # σp(cache-scan(f)) — the selection sits above the cache scan.
+        child = rewritten.children()[0]
+        assert isinstance(child, algebra.Select)
+        assert isinstance(child.child, algebra.CacheScan)
+
+    def test_empty_uri_list_keeps_scan(self, lazy_db, scan_d):
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            scan_d, lazy_db.database, lazy_db.config, [], report
+        )
+        assert isinstance(rewritten, algebra.Scan)
+
+    def test_metadata_scans_untouched(self, lazy_db, uris):
+        scan_f = algebra.Scan("F", lazy_db.database.qualified_schema("F"))
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            scan_f, lazy_db.database, lazy_db.config, uris, report
+        )
+        assert rewritten is scan_f or isinstance(rewritten, algebra.Scan)
+        assert report.rewrote_scans == 0
+
+    def test_force_cache_scan(self, lazy_db, scan_d, uris):
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            scan_d, lazy_db.database, lazy_db.config, uris, report,
+            force_cache_scan=True,
+        )
+        assert len(find_nodes(rewritten, algebra.CacheScan)) == 3
+
+    def test_rewrite_inside_join(self, lazy_db, scan_d, uris):
+        scan_s = algebra.Scan("S", lazy_db.database.qualified_schema("S"))
+        join = algebra.Join(
+            scan_s, scan_d, Comparison("=", col("S.file_id"), col("D.file_id"))
+        )
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            join, lazy_db.database, lazy_db.config, uris, report
+        )
+        assert isinstance(rewritten, algebra.Join)
+        assert isinstance(rewritten.right, algebra.Union)

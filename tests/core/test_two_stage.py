@@ -1,0 +1,202 @@
+"""Tests for the two-stage execution model and the run-time rewrite."""
+
+import pytest
+
+from repro.core.two_stage import TwoStageOptions
+from repro.data.ingv import EPOCH_2010_MS
+from repro.engine import algebra
+from repro.engine.mal import CallRuntimeOptimizer, EvalPlan, ReturnValue
+from repro.workloads import QueryParams, t1_query, t4_query, t5_query
+
+MILLIS_PER_DAY = 24 * 3600 * 1000
+
+
+def t4(two_day_range, station="ISK", channel="BHE"):
+    start, end = two_day_range
+    return t4_query(
+        QueryParams(station=station, channel=channel, start_ms=start, end_ms=end)
+    )
+
+
+class TestCompilation:
+    def test_program_shape(self, lazy_db, two_day_range):
+        compiled = lazy_db.compiler.compile(lazy_db.bind(t4(two_day_range)))
+        kinds = [type(i) for i in compiled.program.instructions]
+        assert kinds == [EvalPlan, CallRuntimeOptimizer, EvalPlan, ReturnValue]
+
+    def test_qf_leaves_are_metadata_only(self, lazy_db, two_day_range):
+        compiled = lazy_db.compiler.compile(lazy_db.bind(t4(two_day_range)))
+        reds = lazy_db.database.catalog.metadata_table_names()
+        assert compiled.qf_plan.base_tables() <= reds
+
+    def test_qs_references_result_scan(self, lazy_db, two_day_range):
+        compiled = lazy_db.compiler.compile(lazy_db.bind(t4(two_day_range)))
+
+        def has_result_scan(node):
+            if isinstance(node, algebra.ResultScan):
+                return True
+            return any(has_result_scan(c) for c in node.children())
+
+        assert has_result_scan(compiled.qs_plan)
+
+    def test_time_bounds_inferred_onto_segments(self, lazy_db, two_day_range):
+        compiled = lazy_db.compiler.compile(lazy_db.bind(t4(two_day_range)))
+        rendered = compiled.qf_plan.pretty()
+        assert "S.start_time" in rendered
+        assert "S.sample_count" in rendered  # the computed segment end
+
+    def test_inference_can_be_disabled(self, lazy_db, two_day_range):
+        options = TwoStageOptions(infer_time_bounds=False)
+        from repro.core.two_stage import TwoStageCompiler
+
+        compiler = TwoStageCompiler(
+            lazy_db.database, lazy_db.config, options
+        )
+        compiled = compiler.compile(lazy_db.bind(t4(two_day_range)))
+        assert "S.sample_count *" not in compiled.qf_plan.pretty()
+
+    def test_metadata_only_query_single_effective_stage(self, lazy_db):
+        sql = t1_query(QueryParams(station="ISK"))
+        compiled = lazy_db.compiler.compile(lazy_db.bind(sql))
+        assert not compiled.two_stage
+
+
+class TestLazyExecution:
+    def test_loads_only_needed_chunks(self, lazy_db, day_range):
+        result = lazy_db.query(t4(day_range))
+        # 1 station-day at test scale = exactly one chunk file.
+        assert len(result.rewrite.required_uris) == 1
+        assert result.stats.chunks_loaded == 1
+
+    def test_second_run_hits_recycler(self, lazy_db, day_range):
+        lazy_db.query(t4(day_range))
+        result = lazy_db.query(t4(day_range))
+        assert result.stats.chunks_loaded == 0
+        assert len(result.rewrite.cached_uris) == 1
+
+    def test_other_station_loads_other_chunks(self, lazy_db, day_range):
+        first = lazy_db.query(t4(day_range, station="ISK", channel="BHE"))
+        second = lazy_db.query(t4(day_range, station="FIAM", channel="HHZ"))
+        assert set(first.rewrite.required_uris).isdisjoint(
+            second.rewrite.required_uris
+        )
+
+    def test_no_matching_metadata_loads_nothing(self, lazy_db, day_range):
+        result = lazy_db.query(t4(day_range, station="NOPE", channel="X"))
+        assert result.stats.chunks_loaded == 0
+        assert result.table.to_dicts()[0]["n_samples"] == 0
+
+    def test_d_table_stays_empty(self, lazy_db, day_range):
+        lazy_db.query(t4(day_range))
+        assert lazy_db.database.catalog.table("D").num_rows == 0
+
+    def test_stage_times_recorded(self, lazy_db, day_range):
+        result = lazy_db.query(t4(day_range))
+        assert result.two_stage
+        assert result.stage_one_seconds > 0
+        assert result.stage_two_seconds > 0
+        assert result.seconds >= result.stage_one_seconds
+
+    def test_matches_eager_answer(self, lazy_db, eager_db, day_range):
+        lazy_answer = lazy_db.query(t4(day_range)).table.to_dicts()
+        eager_answer = eager_db.query(t4(day_range)).table.to_dicts()
+        assert lazy_answer == eager_answer
+
+    def test_parallel_loading_instruction(self, tiny_repo, two_day_range):
+        from repro.core.loading import prepare
+
+        db, _ = prepare(
+            "lazy",
+            tiny_repo[0],
+            options=TwoStageOptions(parallel_threads=4),
+        )
+        start, end = two_day_range
+        sql = t4_query(
+            QueryParams(station="ISK", channel="BHE", start_ms=start, end_ms=end)
+        )
+        result = db.query(sql)
+        assert result.stats.chunks_loaded == 2
+        db.close()
+
+    def test_serial_loading_option(self, tiny_repo, two_day_range):
+        from repro.core.loading import prepare
+
+        db, _ = prepare(
+            "lazy",
+            tiny_repo[0],
+            options=TwoStageOptions(parallel_threads=1),
+        )
+        start, end = two_day_range
+        sql = t4_query(
+            QueryParams(station="ISK", channel="BHE", start_ms=start, end_ms=end)
+        )
+        assert db.query(sql).stats.chunks_loaded == 2
+        db.close()
+
+
+class TestSelectionPushdownIntoChunks:
+    def test_pushed_predicate_filters_rows(self, tiny_repo, day_range):
+        from repro.core.loading import prepare
+
+        db_push, _ = prepare(
+            "lazy",
+            tiny_repo[0],
+            options=TwoStageOptions(push_selections_into_chunks=True),
+        )
+        db_nopush, _ = prepare(
+            "lazy",
+            tiny_repo[0],
+            options=TwoStageOptions(push_selections_into_chunks=False),
+        )
+        start, end = day_range
+        sql = t4_query(
+            QueryParams(
+                station="ISK",
+                channel="BHE",
+                start_ms=start,
+                end_ms=start + MILLIS_PER_DAY // 2,
+            )
+        )
+        a = db_push.query(sql).table.to_dicts()
+        b = db_nopush.query(sql).table.to_dicts()
+        assert a == b
+        db_push.close()
+        db_nopush.close()
+
+    def test_cache_holds_unfiltered_chunk(self, lazy_db, day_range):
+        start, _ = day_range
+        narrow = t4_query(
+            QueryParams(
+                station="ISK",
+                channel="BHE",
+                start_ms=start,
+                end_ms=start + MILLIS_PER_DAY // 4,
+            )
+        )
+        wide = t4_query(
+            QueryParams(
+                station="ISK",
+                channel="BHE",
+                start_ms=start,
+                end_ms=start + MILLIS_PER_DAY,
+            )
+        )
+        first = lazy_db.query(narrow)
+        second = lazy_db.query(wide)
+        # Same single chunk; the second query must still see all its rows.
+        assert second.stats.chunks_loaded == 0
+        assert (
+            second.table.to_dicts()[0]["n_samples"]
+            > first.table.to_dicts()[0]["n_samples"]
+        )
+
+
+class TestEagerExecution:
+    def test_single_stage_no_rewrite(self, eager_db, day_range):
+        result = eager_db.query(t4(day_range))
+        assert not result.two_stage
+        assert result.stats.chunks_loaded == 0
+
+    def test_join_order_still_metadata_first(self, eager_db, day_range):
+        result = eager_db.query(t4(day_range))
+        assert result.join_order.index("D") == len(result.join_order) - 1

@@ -1,0 +1,159 @@
+"""Tests for the synthetic waveform generator and INGV dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DAYS_PER_SF,
+    DEFAULT_STATIONS,
+    FIAM_ONLY,
+    SCALE_TEST,
+    build_or_reuse,
+    build_repository,
+    day_seed,
+    generate_day,
+    split_into_segments,
+    station_by_code,
+)
+from repro.data.ingv import EPOCH_2010_MS, RepoScale
+from repro.mseed import reader
+
+
+class TestStations:
+    def test_four_default_stations(self):
+        assert len(DEFAULT_STATIONS) == 4
+
+    def test_paper_example_stations_present(self):
+        assert station_by_code("ISK").channel == "BHE"
+        assert station_by_code("FIAM").channel == "HHZ"
+
+    def test_unknown_station(self):
+        with pytest.raises(KeyError):
+            station_by_code("XXXX")
+
+    def test_fiam_only(self):
+        assert len(FIAM_ONLY) == 1
+        assert FIAM_ONLY[0].code == "FIAM"
+
+
+class TestWaveform:
+    def test_deterministic(self):
+        a = generate_day("FIAM", "HHZ", 3, 1000)
+        b = generate_day("FIAM", "HHZ", 3, 1000)
+        assert np.array_equal(a, b)
+
+    def test_different_days_differ(self):
+        a = generate_day("FIAM", "HHZ", 0, 1000)
+        b = generate_day("FIAM", "HHZ", 1, 1000)
+        assert not np.array_equal(a, b)
+
+    def test_different_stations_differ(self):
+        a = generate_day("FIAM", "HHZ", 0, 1000)
+        b = generate_day("ISK", "HHZ", 0, 1000)
+        assert not np.array_equal(a, b)
+
+    def test_integer_output(self):
+        samples = generate_day("FIAM", "HHZ", 0, 500)
+        assert samples.dtype == np.int64
+
+    def test_length(self):
+        assert len(generate_day("X", "C", 0, 777)) == 777
+
+    def test_seed_stability(self):
+        assert day_seed("FIAM", "HHZ", 1) == day_seed("FIAM", "HHZ", 1)
+        assert day_seed("FIAM", "HHZ", 1) != day_seed("FIAM", "HHZ", 2)
+
+    def test_events_make_large_amplitudes(self):
+        # With many days, at least one should contain an event well above
+        # the noise floor (base amplitude is thousands of counts).
+        peak = max(
+            np.abs(generate_day("FIAM", "HHZ", day, 2000,
+                                event_rate=3.0)).max()
+            for day in range(5)
+        )
+        assert peak > 3000
+
+
+class TestSegmentSplitting:
+    def test_covers_all_samples(self):
+        samples = np.arange(1000)
+        rng = np.random.default_rng(0)
+        pieces = split_into_segments(samples, 0, 100.0, rng, 4, 8)
+        total = sum(len(p) for _, _, p in pieces)
+        assert total == 1000
+
+    def test_segment_numbers_sequential(self):
+        rng = np.random.default_rng(0)
+        pieces = split_into_segments(np.arange(100), 0, 10.0, rng, 2, 4)
+        assert [n for n, _, _ in pieces] == list(range(len(pieces)))
+
+    def test_start_times_monotonic(self):
+        rng = np.random.default_rng(0)
+        pieces = split_into_segments(np.arange(500), 1000, 10.0, rng, 4, 8)
+        starts = [s for _, s, _ in pieces]
+        assert starts == sorted(starts)
+
+    def test_empty_input(self):
+        rng = np.random.default_rng(0)
+        pieces = split_into_segments(np.asarray([], dtype=np.int64), 0, 1.0, rng)
+        assert len(pieces) == 1 and len(pieces[0][2]) == 0
+
+
+class TestDatasetBuilder:
+    def test_paper_day_counts(self):
+        assert DAYS_PER_SF == {1: 40, 3: 121, 9: 366, 27: 1096}
+
+    def test_file_count_is_stations_times_days(self, tmp_path):
+        stats = build_repository(str(tmp_path / "r"), 1, SCALE_TEST)
+        expected_days = SCALE_TEST.days_for_sf(1)
+        assert stats.num_files == 4 * expected_days
+
+    def test_scale_ratios_preserved(self):
+        days = [SCALE_TEST.days_for_sf(sf) for sf in (1, 3, 9, 27)]
+        assert days == sorted(days)
+        assert days[3] >= 20 * days[0]  # roughly 27x, integer division aside
+
+    def test_deterministic_rebuild(self, tmp_path):
+        a = build_repository(str(tmp_path / "a"), 1, SCALE_TEST)
+        b = build_repository(str(tmp_path / "b"), 1, SCALE_TEST)
+        assert a == b
+
+    def test_build_or_reuse_caches(self, tmp_path):
+        repo1, stats1 = build_or_reuse(str(tmp_path), 1, SCALE_TEST)
+        repo2, stats2 = build_or_reuse(str(tmp_path), 1, SCALE_TEST)
+        assert repo1.root == repo2.root
+        assert stats1 == stats2
+
+    def test_fiam_only_quarter_size(self, tmp_path):
+        _, full = build_or_reuse(str(tmp_path), 1, SCALE_TEST)
+        _, fiam = build_or_reuse(str(tmp_path), 1, SCALE_TEST, fiam_only=True)
+        assert fiam.num_files * 4 == full.num_files
+
+    def test_chunk_contents_match_generator(self, tmp_path):
+        repo, _ = build_or_reuse(str(tmp_path), 1, SCALE_TEST)
+        first = repo.list_chunks()[0]
+        meta = reader.read_metadata(first.uri)
+        segments = reader.read_samples(first.uri)
+        regenerated = generate_day(
+            meta.volume.station,
+            meta.volume.channel,
+            0,
+            SCALE_TEST.samples_per_day,
+            noise_scale=station_by_code(meta.volume.station).noise_scale,
+            event_rate=station_by_code(meta.volume.station).event_rate,
+            base_amplitude=station_by_code(meta.volume.station).base_amplitude,
+        )
+        concatenated = np.concatenate([s.values for s in segments])
+        assert np.array_equal(concatenated, regenerated)
+
+    def test_timestamps_start_at_epoch(self, tmp_path):
+        repo, _ = build_or_reuse(str(tmp_path), 1, SCALE_TEST)
+        first = repo.list_chunks()[0]
+        meta = reader.read_metadata(first.uri)
+        assert meta.segments[0].start_time_ms == EPOCH_2010_MS
+
+    def test_stats_marker_roundtrip(self, tmp_path):
+        _, stats1 = build_or_reuse(str(tmp_path), 3, SCALE_TEST)
+        _, stats2 = build_or_reuse(str(tmp_path), 3, SCALE_TEST)
+        assert stats1 == stats2
+        assert stats2.num_samples > 0

@@ -1,0 +1,173 @@
+"""Unit and property tests for Column and ColumnBuilder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.column import Column, ColumnBuilder, column_from_values
+from repro.engine.errors import TypeMismatchError
+from repro.engine.types import FLOAT64, INT64, STRING
+
+
+class TestConstruction:
+    def test_from_values_int(self):
+        col = Column.from_values(INT64, [1, 2, 3])
+        assert len(col) == 3
+        assert col.to_list() == [1, 2, 3]
+
+    def test_from_values_string_object_dtype(self):
+        col = Column.from_values(STRING, ["a", "b"])
+        assert col.values.dtype == object
+        assert col.to_list() == ["a", "b"]
+
+    def test_empty(self):
+        assert len(Column.empty(FLOAT64)) == 0
+
+    def test_constant(self):
+        col = Column.constant(INT64, 7, 4)
+        assert col.to_list() == [7, 7, 7, 7]
+
+    def test_constant_string(self):
+        col = Column.constant(STRING, "x", 3)
+        assert col.to_list() == ["x", "x", "x"]
+
+    def test_coercion_applies(self):
+        col = Column.from_values(FLOAT64, [1, 2])
+        assert col.values.dtype == np.float64
+
+    def test_infer_from_values(self):
+        assert column_from_values([1, 2]).dtype is INT64
+        assert column_from_values(["a"]).dtype is STRING
+        assert column_from_values([]).dtype is STRING
+
+
+class TestBulkOps:
+    def test_take(self):
+        col = Column.from_values(INT64, [10, 20, 30])
+        taken = col.take(np.asarray([2, 0]))
+        assert taken.to_list() == [30, 10]
+
+    def test_filter(self):
+        col = Column.from_values(INT64, [1, 2, 3, 4])
+        kept = col.filter(np.asarray([True, False, True, False]))
+        assert kept.to_list() == [1, 3]
+
+    def test_filter_requires_bool_mask(self):
+        col = Column.from_values(INT64, [1])
+        with pytest.raises(TypeMismatchError):
+            col.filter(np.asarray([1]))
+
+    def test_slice(self):
+        col = Column.from_values(INT64, [1, 2, 3, 4])
+        assert col.slice(1, 3).to_list() == [2, 3]
+
+    def test_concat(self):
+        a = Column.from_values(INT64, [1])
+        b = Column.from_values(INT64, [2, 3])
+        assert a.concat(b).to_list() == [1, 2, 3]
+
+    def test_concat_type_mismatch(self):
+        a = Column.from_values(INT64, [1])
+        b = Column.from_values(FLOAT64, [2.0])
+        with pytest.raises(TypeMismatchError):
+            a.concat(b)
+
+    def test_concat_all_single(self):
+        a = Column.from_values(INT64, [1])
+        assert Column.concat_all([a]) is a
+
+    def test_concat_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            Column.concat_all([])
+
+    def test_unique_preserves_first_appearance(self):
+        col = Column.from_values(INT64, [3, 1, 3, 2, 1])
+        assert col.unique().to_list() == [3, 1, 2]
+
+    def test_unique_strings(self):
+        col = Column.from_values(STRING, ["b", "a", "b"])
+        assert col.unique().to_list() == ["b", "a"]
+
+
+class TestEquality:
+    def test_equal(self):
+        assert Column.from_values(INT64, [1, 2]) == Column.from_values(INT64, [1, 2])
+
+    def test_unequal_values(self):
+        assert Column.from_values(INT64, [1, 2]) != Column.from_values(INT64, [2, 1])
+
+    def test_unequal_types(self):
+        assert Column.from_values(INT64, [1]) != Column.from_values(FLOAT64, [1.0])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Column.from_values(INT64, [1]))
+
+
+class TestNbytes:
+    def test_int_column_nbytes(self):
+        col = Column.from_values(INT64, list(range(100)))
+        assert col.nbytes == 800
+
+    def test_string_column_counts_payload(self):
+        col = Column.from_values(STRING, ["abc", "de"])
+        assert col.nbytes >= 5
+
+
+class TestBuilder:
+    def test_append_many(self):
+        builder = ColumnBuilder(INT64, capacity=2)
+        for i in range(100):
+            builder.append(i)
+        col = builder.finish()
+        assert col.to_list() == list(range(100))
+
+    def test_extend(self):
+        builder = ColumnBuilder(STRING)
+        builder.extend(["a", "b"])
+        builder.extend(iter(["c"]))
+        assert builder.finish().to_list() == ["a", "b", "c"]
+
+    def test_extend_array_fast_path(self):
+        builder = ColumnBuilder(INT64)
+        builder.extend_array(np.arange(10))
+        builder.extend_array(np.arange(5))
+        assert len(builder.finish()) == 15
+
+    def test_finish_snapshots(self):
+        builder = ColumnBuilder(INT64)
+        builder.append(1)
+        first = builder.finish()
+        builder.append(2)
+        assert first.to_list() == [1]
+
+    def test_coercion_on_append(self):
+        builder = ColumnBuilder(FLOAT64)
+        builder.append(3)
+        assert builder.finish().to_list() == [3.0]
+
+
+@given(st.lists(st.integers(min_value=-(2**62), max_value=2**62)))
+def test_builder_roundtrip_property(values):
+    builder = ColumnBuilder(INT64)
+    builder.extend(values)
+    assert builder.finish().to_list() == values
+
+
+@given(
+    st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1),
+    st.data(),
+)
+def test_take_then_filter_consistency(values, data):
+    col = Column.from_values(INT64, values)
+    mask = np.asarray(
+        data.draw(
+            st.lists(
+                st.booleans(), min_size=len(values), max_size=len(values)
+            )
+        ),
+        dtype=bool,
+    )
+    filtered = col.filter(mask)
+    gathered = col.take(np.flatnonzero(mask))
+    assert filtered == gathered

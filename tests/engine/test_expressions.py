@@ -1,0 +1,261 @@
+"""Unit and property tests for the expression AST and its evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.expressions import (
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    IsIn,
+    Literal,
+    col,
+    conjoin,
+    conjuncts,
+    lit,
+    referenced_columns,
+    referenced_tables,
+    split_equi_join,
+)
+from repro.engine.errors import TypeMismatchError
+from repro.engine.table import Schema, Table
+from repro.engine.types import BOOL, FLOAT64, INT64, STRING
+
+
+@pytest.fixture()
+def table():
+    schema = Schema.of(
+        ("T.a", INT64), ("T.b", INT64), ("T.s", STRING), ("T.f", FLOAT64)
+    )
+    return Table.from_rows(
+        schema,
+        [
+            (1, 10, "x", 0.5),
+            (2, 20, "y", 1.5),
+            (3, 30, "x", 2.5),
+            (4, 40, "z", 3.5),
+        ],
+    )
+
+
+class TestColumnRef:
+    def test_evaluate(self, table):
+        assert col("T.a").evaluate(table).tolist() == [1, 2, 3, 4]
+
+    def test_table_name(self):
+        assert col("T.a").table_name == "T"
+        assert col("plain").table_name is None
+
+    def test_output_type(self, table):
+        assert col("T.s").output_type(table) is STRING
+
+
+class TestLiteral:
+    def test_broadcast(self, table):
+        values = lit(7).evaluate(table)
+        assert values.tolist() == [7, 7, 7, 7]
+
+    def test_string_broadcast(self, table):
+        values = lit("q").evaluate(table)
+        assert values.dtype == object and values[0] == "q"
+
+    def test_explicit_type(self):
+        assert lit(5, FLOAT64).dtype is FLOAT64
+
+
+class TestComparison:
+    def test_less_than(self, table):
+        mask = Comparison("<", col("T.a"), lit(3)).evaluate(table)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_equals_string(self, table):
+        mask = Comparison("=", col("T.s"), lit("x")).evaluate(table)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_not_equal(self, table):
+        mask = Comparison("<>", col("T.a"), lit(2)).evaluate(table)
+        assert mask.tolist() == [True, False, True, True]
+
+    def test_flipped(self, table):
+        original = Comparison("<", lit(2), col("T.a"))
+        flipped = original.flipped()
+        assert flipped.op == ">"
+        assert np.array_equal(
+            original.evaluate(table), flipped.evaluate(table)
+        )
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Comparison("~", col("T.a"), lit(1))
+
+    def test_output_type_is_bool(self, table):
+        assert Comparison("=", col("T.a"), lit(1)).output_type(table) is BOOL
+
+
+class TestBooleanOp:
+    def test_and(self, table):
+        pred = BooleanOp(
+            "AND",
+            [
+                Comparison(">", col("T.a"), lit(1)),
+                Comparison("<", col("T.a"), lit(4)),
+            ],
+        )
+        assert pred.evaluate(table).tolist() == [False, True, True, False]
+
+    def test_or(self, table):
+        pred = BooleanOp(
+            "OR",
+            [
+                Comparison("=", col("T.a"), lit(1)),
+                Comparison("=", col("T.a"), lit(4)),
+            ],
+        )
+        assert pred.evaluate(table).tolist() == [True, False, False, True]
+
+    def test_not(self, table):
+        pred = BooleanOp("NOT", [Comparison("=", col("T.s"), lit("x"))])
+        assert pred.evaluate(table).tolist() == [False, True, False, True]
+
+    def test_not_arity_checked(self):
+        with pytest.raises(TypeMismatchError):
+            BooleanOp("NOT", [lit(True), lit(False)])
+
+    def test_and_arity_checked(self):
+        with pytest.raises(TypeMismatchError):
+            BooleanOp("AND", [lit(True)])
+
+
+class TestArithmetic:
+    def test_add(self, table):
+        values = Arithmetic("+", col("T.a"), col("T.b")).evaluate(table)
+        assert values.tolist() == [11, 22, 33, 44]
+
+    def test_division_promotes_to_float(self, table):
+        expr = Arithmetic("/", col("T.b"), lit(8))
+        assert expr.output_type(table) is FLOAT64
+        assert expr.evaluate(table)[0] == pytest.approx(1.25)
+
+    def test_modulo(self, table):
+        values = Arithmetic("%", col("T.b"), lit(3)).evaluate(table)
+        assert values.tolist() == [1, 2, 0, 1]
+
+    def test_int_result_stays_int(self, table):
+        expr = Arithmetic("*", col("T.a"), lit(2))
+        assert expr.evaluate(table).dtype == np.int64
+
+
+class TestIsIn:
+    def test_numeric(self, table):
+        mask = IsIn(col("T.a"), [2, 4]).evaluate(table)
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_string(self, table):
+        mask = IsIn(col("T.s"), ["x"]).evaluate(table)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_empty_options(self, table):
+        assert not IsIn(col("T.a"), []).evaluate(table).any()
+
+
+class TestConjuncts:
+    def test_split_nested_and(self):
+        pred = BooleanOp(
+            "AND",
+            [
+                Comparison("=", col("T.a"), lit(1)),
+                BooleanOp(
+                    "AND",
+                    [
+                        Comparison("=", col("T.b"), lit(2)),
+                        Comparison("=", col("T.s"), lit("x")),
+                    ],
+                ),
+            ],
+        )
+        assert len(conjuncts(pred)) == 3
+
+    def test_or_not_split(self):
+        pred = BooleanOp(
+            "OR",
+            [Comparison("=", col("T.a"), lit(1)), Comparison("=", col("T.b"), lit(2))],
+        )
+        assert len(conjuncts(pred)) == 1
+
+    def test_none(self):
+        assert conjuncts(None) == []
+
+    def test_conjoin_roundtrip(self, table):
+        parts = [
+            Comparison(">", col("T.a"), lit(1)),
+            Comparison("<", col("T.b"), lit(40)),
+        ]
+        merged = conjoin(parts)
+        assert merged.evaluate(table).tolist() == [False, True, True, False]
+
+    def test_conjoin_empty_is_none(self):
+        assert conjoin([]) is None
+
+    def test_conjoin_single_passthrough(self):
+        p = Comparison("=", col("T.a"), lit(1))
+        assert conjoin([p]) is p
+
+
+class TestAnalysis:
+    def test_referenced_columns(self):
+        pred = BooleanOp(
+            "AND",
+            [
+                Comparison("=", col("A.x"), col("B.y")),
+                Comparison(">", col("A.z"), lit(1)),
+            ],
+        )
+        assert referenced_columns(pred) == {"A.x", "B.y", "A.z"}
+
+    def test_referenced_tables(self):
+        pred = Comparison("=", col("A.x"), col("B.y"))
+        assert referenced_tables(pred) == {"A", "B"}
+
+    def test_split_equi_join(self):
+        pred = BooleanOp(
+            "AND",
+            [
+                Comparison("=", col("A.x"), col("B.y")),
+                Comparison(">", col("A.z"), col("B.w")),
+            ],
+        )
+        pairs, residual = split_equi_join(pred, {"A"}, {"B"})
+        assert pairs == [("A.x", "B.y")]
+        assert len(residual) == 1
+
+    def test_split_equi_join_swapped_sides(self):
+        pred = Comparison("=", col("B.y"), col("A.x"))
+        pairs, residual = split_equi_join(pred, {"A"}, {"B"})
+        assert pairs == [("A.x", "B.y")]
+        assert residual == []
+
+
+class TestStructuralEquality:
+    def test_equal_keys(self):
+        a = Comparison("=", col("T.a"), lit(1))
+        b = Comparison("=", col("T.a"), lit(1))
+        assert a == b and hash(a) == hash(b)
+
+    def test_different_ops_differ(self):
+        a = Comparison("=", col("T.a"), lit(1))
+        b = Comparison("<", col("T.a"), lit(1))
+        assert a != b
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=50),
+       st.integers(-100, 100))
+def test_comparison_matches_numpy_oracle(values, bound):
+    schema = Schema.of(("T.v", INT64))
+    table = Table.from_rows(schema, [(v,) for v in values])
+    array = np.asarray(values)
+    for op, oracle in [("<", array < bound), (">=", array >= bound),
+                       ("=", array == bound)]:
+        mask = Comparison(op, col("T.v"), lit(bound)).evaluate(table)
+        assert mask.tolist() == oracle.tolist()

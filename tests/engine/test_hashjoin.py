@@ -1,0 +1,130 @@
+"""Tests for the vectorized equi-join kernels, checked against a
+nested-loop oracle (including a hypothesis property)."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.engine.column import Column
+from repro.engine.hashjoin import (
+    composite_codes_pair,
+    equi_join_pairs,
+    factorize_pair,
+)
+from repro.engine.types import INT64, STRING
+
+
+def oracle_pairs(left, right):
+    return sorted(
+        (i, j)
+        for i, lv in enumerate(left)
+        for j, rv in enumerate(right)
+        if lv == rv
+    )
+
+
+class TestFactorizePair:
+    def test_consistent_codes_ints(self):
+        left = np.asarray([5, 7, 5])
+        right = np.asarray([7, 9])
+        l_codes, r_codes, _ = factorize_pair(left, right)
+        assert l_codes[1] == r_codes[0]  # both are value 7
+        assert l_codes[0] == l_codes[2]
+
+    def test_consistent_codes_strings(self):
+        left = np.asarray(["a", "b"], dtype=object)
+        right = np.asarray(["b", "c"], dtype=object)
+        l_codes, r_codes, card = factorize_pair(left, right)
+        assert l_codes[1] == r_codes[0]
+        assert card == 3
+
+    def test_empty_sides(self):
+        l_codes, r_codes, _ = factorize_pair(
+            np.asarray([], dtype=np.int64), np.asarray([1, 2])
+        )
+        assert len(l_codes) == 0 and len(r_codes) == 2
+
+
+class TestEquiJoinPairs:
+    def test_one_to_one(self):
+        left = np.asarray([1, 2, 3])
+        right = np.asarray([3, 1])
+        l_codes, r_codes, _ = factorize_pair(left, right)
+        l_rows, r_rows = equi_join_pairs(l_codes, r_codes)
+        assert sorted(zip(l_rows, r_rows)) == [(0, 1), (2, 0)]
+
+    def test_many_to_many(self):
+        left = np.asarray([1, 1])
+        right = np.asarray([1, 1, 1])
+        l_codes, r_codes, _ = factorize_pair(left, right)
+        l_rows, r_rows = equi_join_pairs(l_codes, r_codes)
+        assert len(l_rows) == 6
+
+    def test_no_matches(self):
+        l_codes, r_codes, _ = factorize_pair(
+            np.asarray([1, 2]), np.asarray([3, 4])
+        )
+        l_rows, r_rows = equi_join_pairs(l_codes, r_codes)
+        assert len(l_rows) == 0 and len(r_rows) == 0
+
+    def test_build_side_choice_irrelevant(self):
+        # larger left than right and vice versa must agree
+        left = np.asarray([1, 2, 2, 3, 4])
+        right = np.asarray([2, 4])
+        l_codes, r_codes, _ = factorize_pair(left, right)
+        a = sorted(zip(*equi_join_pairs(l_codes, r_codes)))
+        b_r, b_l = equi_join_pairs(r_codes, l_codes)
+        b = sorted(zip(b_l, b_r))
+        assert a == b == oracle_pairs(left, right)
+
+
+class TestCompositeCodes:
+    def test_multi_column_keys(self):
+        left = [
+            Column.from_values(INT64, [1, 1, 2]),
+            Column.from_values(STRING, ["a", "b", "a"]),
+        ]
+        right = [
+            Column.from_values(INT64, [1, 2]),
+            Column.from_values(STRING, ["b", "a"]),
+        ]
+        l_codes, r_codes = composite_codes_pair(left, right)
+        l_rows, r_rows = equi_join_pairs(l_codes, r_codes)
+        assert sorted(zip(l_rows, r_rows)) == [(1, 0), (2, 1)]
+
+    def test_no_false_matches_across_columns(self):
+        # (1, "2") must not match (12, "") style collisions
+        left = [
+            Column.from_values(INT64, [1]),
+            Column.from_values(INT64, [23]),
+        ]
+        right = [
+            Column.from_values(INT64, [12]),
+            Column.from_values(INT64, [3]),
+        ]
+        l_codes, r_codes = composite_codes_pair(left, right)
+        l_rows, _ = equi_join_pairs(l_codes, r_codes)
+        assert len(l_rows) == 0
+
+
+@given(
+    st.lists(st.integers(0, 8), max_size=40),
+    st.lists(st.integers(0, 8), max_size=40),
+)
+def test_join_matches_nested_loop_oracle(left_vals, right_vals):
+    left = np.asarray(left_vals, dtype=np.int64)
+    right = np.asarray(right_vals, dtype=np.int64)
+    l_codes, r_codes, _ = factorize_pair(left, right)
+    l_rows, r_rows = equi_join_pairs(l_codes, r_codes)
+    assert sorted(zip(l_rows, r_rows)) == oracle_pairs(left, right)
+
+
+@given(
+    st.lists(st.sampled_from(["a", "b", "c"]), max_size=25),
+    st.lists(st.sampled_from(["b", "c", "d"]), max_size=25),
+)
+def test_string_join_matches_oracle(left_vals, right_vals):
+    left = np.asarray(left_vals, dtype=object)
+    right = np.asarray(right_vals, dtype=object)
+    l_codes, r_codes, _ = factorize_pair(left, right)
+    l_rows, r_rows = equi_join_pairs(l_codes, r_codes)
+    assert sorted(zip(l_rows, r_rows)) == oracle_pairs(left_vals, right_vals)

@@ -1,0 +1,49 @@
+"""Tests for the LoadChunks MAL instruction (parallel chunk ingestion)."""
+
+import pytest
+
+from repro.engine.mal import LoadChunks, MalProgram
+from repro.engine.physical import ExecutionContext
+
+
+@pytest.fixture()
+def uris(lazy_db):
+    return sorted(lazy_db.database.catalog.table("F").data.column("uri"))[:4]
+
+
+class TestLoadChunks:
+    def test_serial_load_populates_recycler(self, lazy_db, uris):
+        ctx = ExecutionContext(lazy_db.database)
+        instruction = LoadChunks(uris=uris, table_name="D", threads=1)
+        instruction.execute(ctx, MalProgram([]))
+        assert all(uri in lazy_db.database.recycler for uri in uris)
+        assert ctx.stats.chunks_loaded == len(uris)
+
+    def test_parallel_load_equivalent(self, lazy_db, uris):
+        ctx = ExecutionContext(lazy_db.database)
+        LoadChunks(uris=uris, table_name="D", threads=4).execute(
+            ctx, MalProgram([])
+        )
+        assert all(uri in lazy_db.database.recycler for uri in uris)
+
+    def test_cached_chunks_skipped(self, lazy_db, uris):
+        database = lazy_db.database
+        table, cost = database.load_chunk(uris[0], "D")
+        database.recycler.put(uris[0], table, cost)
+        ctx = ExecutionContext(database)
+        LoadChunks(uris=uris, table_name="D", threads=1).execute(
+            ctx, MalProgram([])
+        )
+        assert ctx.stats.chunks_loaded == len(uris) - 1
+
+    def test_rows_counted(self, lazy_db, uris):
+        ctx = ExecutionContext(lazy_db.database)
+        LoadChunks(uris=uris[:1], table_name="D", threads=1).execute(
+            ctx, MalProgram([])
+        )
+        assert ctx.stats.chunk_rows_loaded > 0
+
+    def test_describe(self, uris):
+        instruction = LoadChunks(uris=uris, table_name="D", threads=2)
+        text = instruction.describe()
+        assert "4 chunk(s)" in text and "threads=2" in text

@@ -1,0 +1,192 @@
+"""Tests for the rule-based logical optimizer (pushdown, folding)."""
+
+import pytest
+
+from repro.engine import algebra
+from repro.engine.catalog import TableKind
+from repro.engine.database import Database
+from repro.engine.expressions import (
+    BooleanOp,
+    Comparison,
+    Literal,
+    col,
+    lit,
+)
+from repro.engine.optimizer import (
+    optimize,
+    push_down_selections,
+    simplify_predicates,
+)
+from repro.engine.physical import ExecutionContext, execute_plan
+from repro.engine.table import Schema, Table
+from repro.engine.types import INT64, STRING
+
+
+@pytest.fixture()
+def db():
+    database = Database(buffer_pool_bytes=1 << 20)
+    for name in ("a", "b"):
+        database.catalog.create_table(
+            name,
+            Schema.of(("k", INT64), ("v", STRING)),
+            TableKind.METADATA,
+        )
+        database.insert(
+            name,
+            Table.from_rows(
+                database.catalog.table(name).schema,
+                [(1, "x"), (2, "y"), (3, "z")],
+            ),
+        )
+    yield database
+    database.close()
+
+
+def scan(db, name):
+    return algebra.Scan(name, db.qualified_schema(name))
+
+
+def find_nodes(plan, node_type):
+    found = []
+
+    def visit(node):
+        if isinstance(node, node_type):
+            found.append(node)
+        for child in node.children():
+            visit(child)
+
+    visit(plan)
+    return found
+
+
+class TestPushdown:
+    def test_single_table_predicate_moves_below_join(self, db):
+        join = algebra.Join(
+            scan(db, "a"),
+            scan(db, "b"),
+            Comparison("=", col("a.k"), col("b.k")),
+        )
+        plan = algebra.Select(join, Comparison("=", col("a.v"), lit("x")))
+        optimized = push_down_selections(plan)
+        # Top node is the join; the select sits on the 'a' side now.
+        assert isinstance(optimized, algebra.Join)
+        assert isinstance(optimized.left, algebra.Select)
+        assert isinstance(optimized.left.child, algebra.Scan)
+
+    def test_cross_table_predicate_stays(self, db):
+        join = algebra.Join(scan(db, "a"), scan(db, "b"), None)
+        plan = algebra.Select(join, Comparison("=", col("a.k"), col("b.k")))
+        optimized = push_down_selections(plan)
+        assert isinstance(optimized, algebra.Select)
+
+    def test_pushdown_through_union(self, db):
+        union = algebra.Union([scan(db, "a"), scan(db, "a")])
+        plan = algebra.Select(union, Comparison("=", col("a.k"), lit(1)))
+        optimized = push_down_selections(plan)
+        assert isinstance(optimized, algebra.Union)
+        for child in optimized.children():
+            assert isinstance(child, algebra.Select)
+
+    def test_semantics_preserved(self, db):
+        join = algebra.Join(
+            scan(db, "a"),
+            scan(db, "b"),
+            Comparison("=", col("a.k"), col("b.k")),
+        )
+        plan = algebra.Select(
+            join,
+            BooleanOp(
+                "AND",
+                [
+                    Comparison(">", col("a.k"), lit(1)),
+                    Comparison("=", col("b.v"), lit("z")),
+                ],
+            ),
+        )
+        before = execute_plan(plan, ExecutionContext(db))
+        after = execute_plan(push_down_selections(plan), ExecutionContext(db))
+        assert sorted(map(str, before.to_dicts())) == sorted(
+            map(str, after.to_dicts())
+        )
+
+    def test_nested_selects_merge(self, db):
+        plan = algebra.Select(
+            algebra.Select(scan(db, "a"), Comparison(">", col("a.k"), lit(1))),
+            Comparison("<", col("a.k"), lit(3)),
+        )
+        optimized = push_down_selections(plan)
+        selects = find_nodes(optimized, algebra.Select)
+        assert len(selects) == 1
+
+    def test_does_not_cross_aggregate(self, db):
+        agg = algebra.Aggregate(
+            scan(db, "a"), ["a.v"], [algebra.AggregateSpec("COUNT", None, "n")]
+        )
+        plan = algebra.Select(agg, Comparison(">", col("n"), lit(0)))
+        optimized = push_down_selections(plan)
+        assert isinstance(optimized, algebra.Select)
+        assert isinstance(optimized.child, algebra.Aggregate)
+
+
+class TestSimplify:
+    def test_constant_fold_true_removed(self, db):
+        plan = algebra.Select(
+            scan(db, "a"),
+            BooleanOp(
+                "AND",
+                [
+                    Comparison("=", lit(1), lit(1)),
+                    Comparison(">", col("a.k"), lit(1)),
+                ],
+            ),
+        )
+        simplified = simplify_predicates(plan)
+        assert isinstance(simplified.predicate, Comparison)
+
+    def test_constant_fold_whole_predicate_true(self, db):
+        plan = algebra.Select(scan(db, "a"), Comparison("=", lit(1), lit(1)))
+        simplified = simplify_predicates(plan)
+        assert isinstance(simplified, algebra.Scan)
+
+    def test_duplicate_conjuncts_removed(self, db):
+        predicate = BooleanOp(
+            "AND",
+            [
+                Comparison(">", col("a.k"), lit(1)),
+                Comparison(">", col("a.k"), lit(1)),
+            ],
+        )
+        plan = algebra.Select(scan(db, "a"), predicate)
+        simplified = simplify_predicates(plan)
+        assert isinstance(simplified.predicate, Comparison)
+
+    def test_false_constant_kept_for_execution(self, db):
+        plan = algebra.Select(scan(db, "a"), Comparison("=", lit(1), lit(2)))
+        simplified = simplify_predicates(plan)
+        result = execute_plan(optimize(simplified), ExecutionContext(db))
+        assert result.num_rows == 0
+
+
+class TestOptimizePipeline:
+    def test_full_pipeline_equivalence(self, db):
+        join = algebra.Join(
+            scan(db, "a"),
+            scan(db, "b"),
+            Comparison("=", col("a.k"), col("b.k")),
+        )
+        plan = algebra.Project(
+            algebra.Select(
+                join,
+                BooleanOp(
+                    "AND",
+                    [
+                        Comparison("=", lit(True), lit(True)),
+                        Comparison("<=", col("a.k"), lit(2)),
+                    ],
+                ),
+            ),
+            [("key", col("a.k")), ("val", col("b.v"))],
+        )
+        before = execute_plan(plan, ExecutionContext(db))
+        after = execute_plan(optimize(plan), ExecutionContext(db))
+        assert before.to_dicts() == after.to_dicts()

@@ -1,0 +1,326 @@
+"""Tests for physical plan evaluation over an in-memory database."""
+
+import numpy as np
+import pytest
+
+from repro.engine import algebra
+from repro.engine.catalog import ForeignKey, TableKind
+from repro.engine.database import Database
+from repro.engine.expressions import (
+    Arithmetic,
+    BooleanOp,
+    Comparison,
+    col,
+    lit,
+)
+from repro.engine.physical import (
+    ExecutionContext,
+    drop_hidden_columns,
+    execute_plan,
+)
+from repro.engine.table import Schema, Table
+from repro.engine.types import FLOAT64, INT64, STRING
+
+
+@pytest.fixture()
+def db():
+    database = Database(buffer_pool_bytes=1 << 20)
+    database.catalog.create_table(
+        "users",
+        Schema.of(("id", INT64), ("name", STRING), ("dept", INT64)),
+        TableKind.METADATA,
+        primary_key=("id",),
+    )
+    database.catalog.create_table(
+        "depts",
+        Schema.of(("dept_id", INT64), ("dept_name", STRING)),
+        TableKind.METADATA,
+        primary_key=("dept_id",),
+    )
+    database.insert(
+        "users",
+        Table.from_rows(
+            database.catalog.table("users").schema,
+            [(1, "ann", 10), (2, "bob", 20), (3, "cat", 10), (4, "dan", 30)],
+        ),
+    )
+    database.insert(
+        "depts",
+        Table.from_rows(
+            database.catalog.table("depts").schema,
+            [(10, "eng"), (20, "ops")],
+        ),
+    )
+    yield database
+    database.close()
+
+
+def scan(db, name):
+    return algebra.Scan(name, db.qualified_schema(name))
+
+
+class TestScanSelectProject:
+    def test_scan_emits_qualified_and_rowid(self, db):
+        result = execute_plan(scan(db, "users"), ExecutionContext(db))
+        assert "users.name" in result.schema.names
+        assert "users.#rowid" in result.schema.names
+        assert result.column("users.#rowid").to_list() == [0, 1, 2, 3]
+
+    def test_select(self, db):
+        plan = algebra.Select(
+            scan(db, "users"), Comparison("=", col("users.dept"), lit(10))
+        )
+        result = execute_plan(plan, ExecutionContext(db))
+        assert result.column("users.name").to_list() == ["ann", "cat"]
+
+    def test_project_expression(self, db):
+        plan = algebra.Project(
+            scan(db, "users"),
+            [("double_dept", Arithmetic("*", col("users.dept"), lit(2)))],
+        )
+        result = execute_plan(plan, ExecutionContext(db))
+        assert result.column("double_dept").to_list() == [20, 40, 20, 60]
+
+    def test_drop_hidden_columns(self, db):
+        result = execute_plan(scan(db, "users"), ExecutionContext(db))
+        cleaned = drop_hidden_columns(result)
+        assert all("#" not in n for n in cleaned.schema.names)
+
+
+class TestJoin:
+    def test_equi_join(self, db):
+        plan = algebra.Join(
+            scan(db, "users"),
+            scan(db, "depts"),
+            Comparison("=", col("users.dept"), col("depts.dept_id")),
+        )
+        result = execute_plan(plan, ExecutionContext(db))
+        assert result.num_rows == 3  # dan's dept 30 dangles
+        names = sorted(result.column("users.name").to_list())
+        assert names == ["ann", "bob", "cat"]
+
+    def test_join_with_residual(self, db):
+        condition = BooleanOp(
+            "AND",
+            [
+                Comparison("=", col("users.dept"), col("depts.dept_id")),
+                Comparison("=", col("depts.dept_name"), lit("eng")),
+            ],
+        )
+        plan = algebra.Join(scan(db, "users"), scan(db, "depts"), condition)
+        result = execute_plan(plan, ExecutionContext(db))
+        assert sorted(result.column("users.name").to_list()) == ["ann", "cat"]
+
+    def test_cross_product(self, db):
+        plan = algebra.Join(scan(db, "users"), scan(db, "depts"), None)
+        result = execute_plan(plan, ExecutionContext(db))
+        assert result.num_rows == 8
+
+    def test_join_stats_counted(self, db):
+        ctx = ExecutionContext(db)
+        plan = algebra.Join(
+            scan(db, "users"),
+            scan(db, "depts"),
+            Comparison("=", col("users.dept"), col("depts.dept_id")),
+        )
+        execute_plan(plan, ctx)
+        assert ctx.stats.joins_executed == 1
+        assert ctx.stats.rows_joined == 3
+
+
+class TestJoinIndexPath:
+    @pytest.fixture()
+    def indexed_db(self):
+        database = Database(buffer_pool_bytes=1 << 20)
+        database.catalog.create_table(
+            "pk",
+            Schema.of(("k", INT64), ("label", STRING)),
+            TableKind.METADATA,
+            primary_key=("k",),
+        )
+        database.catalog.create_table(
+            "fk",
+            Schema.of(("k", INT64), ("v", INT64)),
+            TableKind.ACTUAL,
+            foreign_keys=[ForeignKey(("k",), "pk", ("k",))],
+        )
+        database.insert(
+            "pk",
+            Table.from_rows(
+                database.catalog.table("pk").schema,
+                [(1, "one"), (2, "two"), (3, "three")],
+            ),
+        )
+        database.insert(
+            "fk",
+            Table.from_rows(
+                database.catalog.table("fk").schema,
+                [(1, 100), (3, 300), (3, 301), (9, 900)],
+            ),
+        )
+        database.build_foreign_key_indexes()
+        yield database
+        database.close()
+
+    def test_join_uses_index(self, indexed_db):
+        ctx = ExecutionContext(indexed_db)
+        plan = algebra.Join(
+            scan(indexed_db, "fk"),
+            scan(indexed_db, "pk"),
+            Comparison("=", col("fk.k"), col("pk.k")),
+        )
+        result = execute_plan(plan, ctx)
+        assert ctx.stats.join_index_hits == 1
+        assert result.num_rows == 3  # 9 dangles
+
+    def test_index_result_matches_hash_join(self, indexed_db):
+        plan = algebra.Join(
+            scan(indexed_db, "fk"),
+            scan(indexed_db, "pk"),
+            Comparison("=", col("fk.k"), col("pk.k")),
+        )
+        via_index = execute_plan(plan, ExecutionContext(indexed_db))
+        indexed_db.join_indexes.clear()
+        via_hash = execute_plan(plan, ExecutionContext(indexed_db))
+        key = lambda t: sorted(map(tuple, t.to_dicts()[0].items())) if t.num_rows else []
+        assert sorted(map(str, via_index.to_dicts())) == sorted(
+            map(str, via_hash.to_dicts())
+        )
+
+    def test_index_skipped_on_filtered_pk_duplicates(self, indexed_db):
+        # Duplicate the pk side rows via a self cross-join: the index path
+        # must bow out and the hash join produce the expanded result.
+        pk_twice = algebra.Union(
+            [scan(indexed_db, "pk"), scan(indexed_db, "pk")]
+        )
+        plan = algebra.Join(
+            scan(indexed_db, "fk"),
+            pk_twice,
+            Comparison("=", col("fk.k"), col("pk.k")),
+        )
+        ctx = ExecutionContext(indexed_db)
+        result = execute_plan(plan, ctx)
+        assert ctx.stats.join_index_hits == 0
+        assert result.num_rows == 6
+
+
+class TestAggregate:
+    def test_scalar_aggregates(self, db):
+        plan = algebra.Aggregate(
+            scan(db, "users"),
+            [],
+            [
+                algebra.AggregateSpec("COUNT", None, "n"),
+                algebra.AggregateSpec("SUM", col("users.dept"), "total"),
+                algebra.AggregateSpec("AVG", col("users.dept"), "mean"),
+                algebra.AggregateSpec("MIN", col("users.dept"), "lo"),
+                algebra.AggregateSpec("MAX", col("users.dept"), "hi"),
+            ],
+        )
+        result = execute_plan(plan, ExecutionContext(db))
+        row = result.to_dicts()[0]
+        assert row == {"n": 4, "total": 70, "mean": 17.5, "lo": 10, "hi": 30}
+
+    def test_grouped_aggregates(self, db):
+        plan = algebra.Aggregate(
+            scan(db, "users"),
+            ["users.dept"],
+            [algebra.AggregateSpec("COUNT", None, "n")],
+        )
+        result = execute_plan(plan, ExecutionContext(db))
+        by_dept = {
+            r["users.dept"]: r["n"] for r in result.to_dicts()
+        }
+        assert by_dept == {10: 2, 20: 1, 30: 1}
+
+    def test_std_matches_numpy(self, db):
+        plan = algebra.Aggregate(
+            scan(db, "users"),
+            [],
+            [algebra.AggregateSpec("STD", col("users.dept"), "sd")],
+        )
+        result = execute_plan(plan, ExecutionContext(db))
+        expected = float(np.std([10, 20, 10, 30]))
+        assert result.to_dicts()[0]["sd"] == pytest.approx(expected)
+
+    def test_empty_input_scalar(self, db):
+        empty = algebra.Select(
+            scan(db, "users"), Comparison("=", col("users.dept"), lit(999))
+        )
+        plan = algebra.Aggregate(
+            empty,
+            [],
+            [
+                algebra.AggregateSpec("COUNT", None, "n"),
+                algebra.AggregateSpec("AVG", col("users.dept"), "mean"),
+            ],
+        )
+        result = execute_plan(plan, ExecutionContext(db))
+        row = result.to_dicts()[0]
+        assert row["n"] == 0
+        assert np.isnan(row["mean"])
+
+    def test_empty_input_grouped(self, db):
+        empty = algebra.Select(
+            scan(db, "users"), Comparison("=", col("users.dept"), lit(999))
+        )
+        plan = algebra.Aggregate(
+            empty, ["users.dept"], [algebra.AggregateSpec("COUNT", None, "n")]
+        )
+        result = execute_plan(plan, ExecutionContext(db))
+        assert result.num_rows == 0
+
+
+class TestOtherOperators:
+    def test_union(self, db):
+        plan = algebra.Union([scan(db, "users"), scan(db, "users")])
+        result = execute_plan(plan, ExecutionContext(db))
+        assert result.num_rows == 8
+
+    def test_sort_asc_desc(self, db):
+        plan = algebra.Sort(
+            scan(db, "users"),
+            [algebra.SortKey("users.dept", True), algebra.SortKey("users.id", False)],
+        )
+        result = execute_plan(plan, ExecutionContext(db))
+        assert result.column("users.id").to_list() == [3, 1, 2, 4]
+
+    def test_sort_strings(self, db):
+        plan = algebra.Sort(
+            scan(db, "users"), [algebra.SortKey("users.name", False)]
+        )
+        result = execute_plan(plan, ExecutionContext(db))
+        assert result.column("users.name").to_list() == [
+            "dan",
+            "cat",
+            "bob",
+            "ann",
+        ]
+
+    def test_limit(self, db):
+        plan = algebra.Limit(scan(db, "users"), 2)
+        assert execute_plan(plan, ExecutionContext(db)).num_rows == 2
+
+    def test_limit_beyond_rows(self, db):
+        plan = algebra.Limit(scan(db, "users"), 100)
+        assert execute_plan(plan, ExecutionContext(db)).num_rows == 4
+
+    def test_distinct(self, db):
+        plan = algebra.Distinct(
+            algebra.Project(scan(db, "users"), [("d", col("users.dept"))])
+        )
+        result = execute_plan(plan, ExecutionContext(db))
+        assert sorted(result.column("d").to_list()) == [10, 20, 30]
+
+    def test_result_scan(self, db):
+        ctx = ExecutionContext(db)
+        ctx.stage_results["snap"] = execute_plan(scan(db, "depts"), ctx)
+        plan = algebra.ResultScan("snap", db.qualified_schema("depts"))
+        assert execute_plan(plan, ctx).num_rows == 2
+
+    def test_result_scan_missing_tag(self, db):
+        from repro.engine.errors import ExecutionError
+
+        plan = algebra.ResultScan("nope", db.qualified_schema("depts"))
+        with pytest.raises(ExecutionError):
+            execute_plan(plan, ExecutionContext(db))

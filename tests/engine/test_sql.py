@@ -1,0 +1,282 @@
+"""Tests for the SQL front-end: lexer, parser, binder."""
+
+import pytest
+
+from repro.engine import algebra
+from repro.engine.catalog import TableKind
+from repro.engine.database import Database
+from repro.engine.errors import BindError, LexerError, ParseError
+from repro.engine.expressions import BooleanOp, Comparison, IsIn, Literal
+from repro.engine.physical import ExecutionContext, execute_plan
+from repro.engine.sql import bind_sql, parse_select, tokenize
+from repro.engine.sql.ast_nodes import AggregateCall
+from repro.engine.sql.lexer import TokenType
+from repro.engine.table import Schema, Table
+from repro.engine.types import FLOAT64, INT64, STRING, TIMESTAMP
+
+
+class TestLexer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("myTable")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].text == "myTable"
+
+    def test_string_with_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].text == "42" and tokens[1].text == "3.14"
+
+    def test_comparison_operators(self):
+        tokens = tokenize("<> <= >= != =")
+        assert [t.text for t in tokens[:-1]] == ["<>", "<=", ">=", "<>", "="]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n1")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_bad_character(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT @")
+
+    def test_end_token(self):
+        assert tokenize("x")[-1].type is TokenType.END
+
+
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse_select("SELECT a, b FROM t")
+        assert stmt.from_name == "t"
+        assert len(stmt.select_items) == 2
+
+    def test_select_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert stmt.select_star
+
+    def test_where_and_chain(self):
+        stmt = parse_select("SELECT a FROM t WHERE a = 1 AND b > 2 AND c < 3")
+        assert isinstance(stmt.where, BooleanOp)
+        assert len(stmt.where.operands) == 3
+
+    def test_or_precedence(self):
+        stmt = parse_select("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.where.op == "OR"
+
+    def test_parenthesized(self):
+        stmt = parse_select("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert stmt.where.op == "AND"
+
+    def test_between_desugars(self):
+        stmt = parse_select("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, BooleanOp)
+        assert stmt.where.op == "AND"
+        assert stmt.where.operands[0].op == ">="
+        assert stmt.where.operands[1].op == "<="
+
+    def test_in_list(self):
+        stmt = parse_select("SELECT a FROM t WHERE s IN ('x', 'y')")
+        assert isinstance(stmt.where, IsIn)
+        assert stmt.where.options == ("x", "y")
+
+    def test_aggregates(self):
+        stmt = parse_select("SELECT COUNT(*), AVG(v) AS m FROM t")
+        assert isinstance(stmt.select_items[0].expression, AggregateCall)
+        assert stmt.select_items[1].alias == "m"
+
+    def test_stddev_alias(self):
+        stmt = parse_select("SELECT STDDEV(v) FROM t")
+        assert stmt.select_items[0].expression.function == "STD"
+
+    def test_group_order_limit(self):
+        stmt = parse_select(
+            "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a DESC LIMIT 5"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.order_by[0].ascending is False
+        assert stmt.limit == 5
+
+    def test_qualified_names(self):
+        stmt = parse_select("SELECT F.station FROM v WHERE F.station = 'ISK'")
+        assert stmt.select_items[0].expression.name == "F.station"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_select("SELECT a + b * 2 FROM t")
+        expr = stmt.select_items[0].expression
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_unary_minus_folds(self):
+        stmt = parse_select("SELECT a FROM t WHERE a > -5")
+        assert isinstance(stmt.where.right, Literal)
+        assert stmt.where.right.value == -5
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a FROM t garbage extra")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a")
+
+    def test_count_star_only(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT SUM(*) FROM t")
+
+
+@pytest.fixture()
+def db():
+    database = Database(buffer_pool_bytes=1 << 20)
+    database.catalog.create_table(
+        "m",
+        Schema.of(
+            ("id", INT64), ("name", STRING), ("ts", TIMESTAMP), ("v", FLOAT64)
+        ),
+        TableKind.METADATA,
+        primary_key=("id",),
+    )
+    database.insert(
+        "m",
+        Table.from_rows(
+            database.catalog.table("m").schema,
+            [
+                (1, "a", 1000, 0.5),
+                (2, "b", 2000, 1.5),
+                (3, "a", 3000, 2.5),
+            ],
+        ),
+    )
+    yield database
+    database.close()
+
+
+def run(db, sql):
+    plan = bind_sql(sql, db)
+    return execute_plan(plan, ExecutionContext(db))
+
+
+class TestBinder:
+    def test_unqualified_resolution(self, db):
+        result = run(db, "SELECT name FROM m WHERE id = 2")
+        assert result.to_dicts() == [{"name": "b"}]
+
+    def test_qualified_resolution(self, db):
+        result = run(db, "SELECT m.name FROM m WHERE m.id = 1")
+        assert result.column("m.name").to_list() == ["a"]
+
+    def test_unknown_column(self, db):
+        with pytest.raises(BindError):
+            bind_sql("SELECT nope FROM m", db)
+
+    def test_unknown_table(self, db):
+        with pytest.raises(BindError):
+            bind_sql("SELECT x FROM nope", db)
+
+    def test_select_star_hides_rowid(self, db):
+        result = run(db, "SELECT * FROM m")
+        assert all("#" not in n for n in result.schema.names)
+        assert result.num_columns == 4
+
+    def test_timestamp_literal_coercion(self, db):
+        result = run(
+            db, "SELECT id FROM m WHERE ts >= '1970-01-01T00:00:02.000'"
+        )
+        assert result.column("id").to_list() == [2, 3]
+
+    def test_timestamp_literal_flipped(self, db):
+        result = run(
+            db, "SELECT id FROM m WHERE '1970-01-01T00:00:02.000' >= ts"
+        )
+        assert result.column("id").to_list() == [1, 2]
+
+    def test_aggregate_with_group(self, db):
+        result = run(
+            db,
+            "SELECT name, COUNT(*) AS n, SUM(v) AS s FROM m GROUP BY name "
+            "ORDER BY name",
+        )
+        assert result.to_dicts() == [
+            {"name": "a", "n": 2, "s": 3.0},
+            {"name": "b", "n": 1, "s": 1.5},
+        ]
+
+    def test_aggregate_expression(self, db):
+        result = run(db, "SELECT MAX(v) - MIN(v) AS spread FROM m")
+        assert result.to_dicts() == [{"spread": 2.0}]
+
+    def test_duplicate_aggregate_shared(self, db):
+        result = run(db, "SELECT AVG(v) AS a1, AVG(v) AS a2 FROM m")
+        row = result.to_dicts()[0]
+        assert row["a1"] == row["a2"]
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(BindError):
+            bind_sql("SELECT id FROM m WHERE AVG(v) > 1", db)
+
+    def test_star_with_aggregate_rejected(self, db):
+        with pytest.raises(BindError):
+            bind_sql("SELECT * FROM m GROUP BY name", db)
+
+    def test_order_by_alias(self, db):
+        result = run(
+            db, "SELECT name, SUM(v) AS s FROM m GROUP BY name ORDER BY s DESC"
+        )
+        assert result.column("name").to_list() == ["a", "b"]
+
+    def test_order_by_missing_output(self, db):
+        with pytest.raises(BindError):
+            bind_sql("SELECT name FROM m ORDER BY v", db)
+
+    def test_distinct(self, db):
+        result = run(db, "SELECT DISTINCT name FROM m")
+        assert sorted(result.column("name").to_list()) == ["a", "b"]
+
+    def test_limit(self, db):
+        assert run(db, "SELECT id FROM m LIMIT 2").num_rows == 2
+
+    def test_in_with_timestamps(self, db):
+        result = run(
+            db,
+            "SELECT id FROM m WHERE ts IN ('1970-01-01T00:00:01.000', "
+            "'1970-01-01T00:00:03.000')",
+        )
+        assert result.column("id").to_list() == [1, 3]
+
+    def test_view_binding(self, db):
+        db.catalog.create_view(
+            "mv",
+            lambda: algebra.Scan("m", db.qualified_schema("m")),
+            "test view",
+        )
+        result = run(db, "SELECT m.id FROM mv WHERE m.name = 'a'")
+        assert result.column("m.id").to_list() == [1, 3]
+
+    def test_ambiguous_column(self, db):
+        db.catalog.create_table(
+            "m2",
+            Schema.of(("id", INT64), ("name", STRING)),
+            TableKind.METADATA,
+        )
+        db.catalog.create_view(
+            "joined",
+            lambda: algebra.Join(
+                algebra.Scan("m", db.qualified_schema("m")),
+                algebra.Scan("m2", db.qualified_schema("m2")),
+                None,
+            ),
+            "",
+        )
+        with pytest.raises(BindError):
+            bind_sql("SELECT name FROM joined", db)

@@ -1,0 +1,146 @@
+"""Tests for paged column storage and the buffer pool."""
+
+import numpy as np
+import pytest
+
+from repro.engine.column import Column
+from repro.engine.errors import StorageError
+from repro.engine.storage import BufferPool, PageId, PagedColumnStore
+from repro.engine.table import Schema, Table
+from repro.engine.types import FLOAT64, INT64, STRING
+
+
+@pytest.fixture()
+def pool():
+    return BufferPool(budget_bytes=1 << 16)
+
+
+@pytest.fixture()
+def store(tmp_path, pool):
+    return PagedColumnStore(str(tmp_path / "pages"), pool, page_rows=16)
+
+
+@pytest.fixture()
+def sample_table():
+    schema = Schema.of(("id", INT64), ("label", STRING), ("v", FLOAT64))
+    rows = [(i, f"row{i}", i * 0.5) for i in range(100)]
+    return Table.from_rows(schema, rows)
+
+
+class TestRoundtrip:
+    def test_store_and_read_back(self, store, sample_table):
+        store.store_table("t", sample_table)
+        loaded = store.read_table("t")
+        assert loaded == sample_table
+
+    def test_read_column_subset(self, store, sample_table):
+        store.store_table("t", sample_table)
+        loaded = store.read_table("t", columns=["v"])
+        assert loaded.schema.names == ("v",)
+        assert loaded.num_rows == 100
+
+    def test_num_rows(self, store, sample_table):
+        store.store_table("t", sample_table)
+        assert store.num_rows("t") == 100
+
+    def test_unknown_table_raises(self, store):
+        with pytest.raises(StorageError):
+            store.read_table("missing")
+
+    def test_restore_after_overwrite(self, store, sample_table):
+        store.store_table("t", sample_table)
+        smaller = sample_table.slice(0, 10)
+        store.store_table("t", smaller)
+        assert store.read_table("t").num_rows == 10
+
+    def test_drop_table(self, store, sample_table):
+        store.store_table("t", sample_table)
+        store.drop_table("t")
+        assert not store.has_table("t")
+
+    def test_table_nbytes_positive(self, store, sample_table):
+        store.store_table("t", sample_table)
+        assert store.table_nbytes("t") > 0
+
+    def test_empty_table(self, store):
+        schema = Schema.of(("x", INT64))
+        store.store_table("e", Table.empty(schema))
+        assert store.read_table("e").num_rows == 0
+
+
+class TestBufferPool:
+    def test_hit_after_load(self, store, sample_table, pool):
+        store.store_table("t", sample_table)
+        store.read_table("t")
+        misses_first = pool.stats.misses
+        store.read_table("t")
+        assert pool.stats.misses == misses_first  # all hits second time
+        assert pool.stats.hits > 0
+
+    def test_budget_enforced(self, tmp_path):
+        pool = BufferPool(budget_bytes=1024)
+        store = PagedColumnStore(str(tmp_path / "p"), pool, page_rows=16)
+        schema = Schema.of(("x", INT64))
+        table = Table.from_rows(schema, [(i,) for i in range(1000)])
+        store.store_table("big", table)
+        store.read_table("big")
+        assert pool.bytes_cached <= 1024
+        assert pool.stats.evictions > 0
+
+    def test_thrashing_when_over_budget(self, tmp_path):
+        pool = BufferPool(budget_bytes=256)
+        store = PagedColumnStore(str(tmp_path / "p"), pool, page_rows=8)
+        schema = Schema.of(("x", INT64))
+        table = Table.from_rows(schema, [(i,) for i in range(64)])
+        store.store_table("big", table)
+        store.read_table("big")
+        first_misses = pool.stats.misses
+        store.read_table("big")
+        # Working set exceeds the budget: the second scan misses again.
+        assert pool.stats.misses > first_misses
+
+    def test_clear(self, store, sample_table, pool):
+        store.store_table("t", sample_table)
+        store.read_table("t")
+        pool.clear()
+        assert pool.bytes_cached == 0
+        assert pool.num_pages == 0
+
+    def test_invalidate_table(self, store, sample_table, pool):
+        store.store_table("t", sample_table)
+        store.read_table("t")
+        pool.invalidate_table("t")
+        assert pool.num_pages == 0
+
+    def test_hit_ratio(self, pool):
+        page = np.arange(4)
+        pool.get(PageId("a", "c", 0), lambda: page)
+        pool.get(PageId("a", "c", 0), lambda: page)
+        assert pool.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(StorageError):
+            BufferPool(0)
+
+    def test_bytes_read_counted(self, store, sample_table, pool):
+        store.store_table("t", sample_table)
+        store.read_table("t")
+        assert pool.stats.bytes_read > 0
+
+
+class TestStringPages:
+    def test_unicode_roundtrip(self, store):
+        schema = Schema.of(("s", STRING))
+        table = Table.from_rows(schema, [("héllo",), ("wörld",), ("",)])
+        store.store_table("u", table)
+        assert store.read_table("u").column("s").to_list() == [
+            "héllo",
+            "wörld",
+            "",
+        ]
+
+    def test_long_strings(self, store):
+        schema = Schema.of(("s", STRING))
+        table = Table.from_rows(schema, [("x" * 10_000,)])
+        store.store_table("l", table)
+        assert store.read_table("l").column("s")[0] == "x" * 10_000

@@ -1,0 +1,193 @@
+"""Unit tests for Schema, Table and TableBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.engine.errors import CatalogError, TypeMismatchError
+from repro.engine.table import Field, Schema, Table, TableBuilder
+from repro.engine.types import FLOAT64, INT64, STRING
+
+
+@pytest.fixture()
+def schema():
+    return Schema.of(("id", INT64), ("name", STRING), ("score", FLOAT64))
+
+
+@pytest.fixture()
+def table(schema):
+    return Table.from_rows(
+        schema, [(1, "a", 1.5), (2, "b", 2.5), (3, "c", 3.5)]
+    )
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema.of(("x", INT64), ("x", INT64))
+
+    def test_field_lookup(self, schema):
+        assert schema.field("name").dtype is STRING
+
+    def test_unknown_field(self, schema):
+        with pytest.raises(CatalogError):
+            schema.field("missing")
+
+    def test_index_of(self, schema):
+        assert schema.index_of("score") == 2
+
+    def test_with_prefix(self, schema):
+        prefixed = schema.with_prefix("T")
+        assert prefixed.names == ("T.id", "T.name", "T.score")
+
+    def test_select_subset_order(self, schema):
+        sub = schema.select(["score", "id"])
+        assert sub.names == ("score", "id")
+
+    def test_concat(self, schema):
+        other = Schema.of(("extra", INT64))
+        assert schema.concat(other).names == ("id", "name", "score", "extra")
+
+    def test_equality(self, schema):
+        assert schema == Schema.of(
+            ("id", INT64), ("name", STRING), ("score", FLOAT64)
+        )
+
+
+class TestTableConstruction:
+    def test_from_rows(self, table):
+        assert table.num_rows == 3
+        assert table.row(1) == (2, "b", 2.5)
+
+    def test_ragged_rejected(self, schema):
+        from repro.engine.column import Column
+
+        cols = [
+            Column.from_values(INT64, [1, 2]),
+            Column.from_values(STRING, ["a"]),
+            Column.from_values(FLOAT64, [0.5, 1.0]),
+        ]
+        with pytest.raises(CatalogError):
+            Table(schema, cols)
+
+    def test_type_mismatch_rejected(self, schema):
+        from repro.engine.column import Column
+
+        cols = [
+            Column.from_values(FLOAT64, [1.0]),
+            Column.from_values(STRING, ["a"]),
+            Column.from_values(FLOAT64, [0.5]),
+        ]
+        with pytest.raises(TypeMismatchError):
+            Table(schema, cols)
+
+    def test_row_width_checked(self, schema):
+        with pytest.raises(CatalogError):
+            Table.from_rows(schema, [(1, "a")])
+
+    def test_from_columns(self):
+        from repro.engine.column import Column
+
+        table = Table.from_columns(
+            {"x": Column.from_values(INT64, [1]), "y": Column.from_values(STRING, ["a"])}
+        )
+        assert table.schema.names == ("x", "y")
+
+    def test_empty(self, schema):
+        assert Table.empty(schema).num_rows == 0
+
+
+class TestTableOps:
+    def test_take(self, table):
+        taken = table.take(np.asarray([2, 0]))
+        assert taken.column("id").to_list() == [3, 1]
+
+    def test_filter(self, table):
+        kept = table.filter(np.asarray([False, True, True]))
+        assert kept.column("name").to_list() == ["b", "c"]
+
+    def test_slice(self, table):
+        assert table.slice(1, 2).row(0) == (2, "b", 2.5)
+
+    def test_project_no_copy(self, table):
+        projected = table.project(["score", "id"])
+        assert projected.schema.names == ("score", "id")
+        assert projected.columns[1] is table.columns[0]
+
+    def test_rename(self, table):
+        renamed = table.rename({"id": "key"})
+        assert renamed.schema.names == ("key", "name", "score")
+
+    def test_with_prefix(self, table):
+        assert table.with_prefix("T").schema.names == (
+            "T.id",
+            "T.name",
+            "T.score",
+        )
+
+    def test_concat(self, table):
+        doubled = table.concat(table)
+        assert doubled.num_rows == 6
+
+    def test_concat_schema_mismatch(self, table):
+        other = Table.from_rows(Schema.of(("id", INT64)), [(1,)])
+        with pytest.raises(CatalogError):
+            table.concat(other)
+
+    def test_concat_all(self, table):
+        assert Table.concat_all([table, table, table]).num_rows == 9
+
+    def test_zip_columns(self, table):
+        right = Table.from_rows(
+            Schema.of(("extra", INT64)), [(10,), (20,), (30,)]
+        )
+        zipped = table.zip_columns(right)
+        assert zipped.num_columns == 4
+        assert zipped.row(2) == (3, "c", 3.5, 30)
+
+    def test_to_dicts(self, table):
+        assert table.to_dicts()[0] == {"id": 1, "name": "a", "score": 1.5}
+
+    def test_nbytes_positive(self, table):
+        assert table.nbytes > 0
+
+    def test_equality(self, table, schema):
+        same = Table.from_rows(
+            schema, [(1, "a", 1.5), (2, "b", 2.5), (3, "c", 3.5)]
+        )
+        assert table == same
+
+
+class TestTableBuilder:
+    def test_append_rows(self, schema):
+        builder = TableBuilder(schema)
+        builder.append_row((1, "a", 0.5))
+        builder.append_row((2, "b", 1.5))
+        assert builder.finish().num_rows == 2
+
+    def test_append_columns(self, schema):
+        builder = TableBuilder(schema)
+        builder.append_columns(
+            [
+                np.asarray([1, 2]),
+                np.asarray(["a", "b"], dtype=object),
+                np.asarray([0.5, 1.5]),
+            ]
+        )
+        table = builder.finish()
+        assert table.column("name").to_list() == ["a", "b"]
+
+    def test_append_columns_length_mismatch(self, schema):
+        builder = TableBuilder(schema)
+        with pytest.raises(CatalogError):
+            builder.append_columns(
+                [
+                    np.asarray([1, 2]),
+                    np.asarray(["a"], dtype=object),
+                    np.asarray([0.5, 1.5]),
+                ]
+            )
+
+    def test_width_checked(self, schema):
+        builder = TableBuilder(schema)
+        with pytest.raises(CatalogError):
+            builder.append_row((1, "a"))

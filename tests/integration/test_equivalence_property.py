@@ -1,0 +1,98 @@
+"""Property-based equivalence: lazy two-stage vs eager single-stage.
+
+For randomly generated (station, time range, aggregate) queries, the lazy
+database must return exactly what the eager database returns — the paper's
+implicit correctness contract ("the illusion of a fully populated
+database").
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.loading import prepare
+from repro.data.ingv import EPOCH_2010_MS
+
+HOUR_MS = 3600 * 1000
+STATIONS = [("ISK", "BHE"), ("FIAM", "HHZ"), ("ARCI", "BHZ"), ("LATE", "BHN")]
+AGGREGATES = ["COUNT(D.sample_value)", "SUM(D.sample_value)",
+              "MIN(D.sample_value)", "MAX(D.sample_value)",
+              "AVG(D.sample_value)"]
+
+
+@pytest.fixture(scope="module")
+def db_pair(tiny_repo):
+    lazy, _ = prepare("lazy", tiny_repo[0])
+    eager, _ = prepare("eager_index", tiny_repo[0])
+    yield lazy, eager
+    lazy.close()
+    eager.close()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    station_index=st.integers(0, len(STATIONS) - 1),
+    start_hour=st.integers(0, 47),
+    duration_hours=st.integers(1, 24),
+    aggregate=st.sampled_from(AGGREGATES),
+)
+def test_lazy_equals_eager_on_random_t4(
+    db_pair, station_index, start_hour, duration_hours, aggregate
+):
+    lazy, eager = db_pair
+    station, channel = STATIONS[station_index]
+    start = EPOCH_2010_MS + start_hour * HOUR_MS
+    end = start + duration_hours * HOUR_MS
+    from repro.engine.types import format_timestamp
+
+    sql = f"""
+        SELECT {aggregate} AS agg FROM dataview
+        WHERE F.station = '{station}' AND F.channel = '{channel}'
+          AND D.sample_time >= '{format_timestamp(start)}'
+          AND D.sample_time < '{format_timestamp(end)}'
+    """
+    lazy_value = lazy.query(sql).table.to_dicts()[0]["agg"]
+    eager_value = eager.query(sql).table.to_dicts()[0]["agg"]
+    if isinstance(lazy_value, float) and math.isnan(lazy_value):
+        assert isinstance(eager_value, float) and math.isnan(eager_value)
+    else:
+        assert lazy_value == pytest.approx(eager_value)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    start_hour=st.integers(0, 40),
+    duration_hours=st.integers(1, 8),
+)
+def test_lazy_equals_eager_on_random_t2(db_pair, start_hour, duration_hours):
+    lazy, eager = db_pair
+    from repro.engine.types import format_timestamp
+
+    start = EPOCH_2010_MS + start_hour * HOUR_MS
+    end = start + duration_hours * HOUR_MS
+    sql = f"""
+        SELECT H.window_start_ts AS window_start_ts,
+               H.window_max_val AS window_max_val,
+               H.window_mean_val AS window_mean_val
+        FROM H
+        WHERE H.window_station = 'FIAM'
+          AND H.window_start_ts >= '{format_timestamp(start)}'
+          AND H.window_start_ts < '{format_timestamp(end)}'
+        ORDER BY window_start_ts
+    """
+    lazy_rows = lazy.query(sql).table.to_dicts()
+    eager_rows = eager.query(sql).table.to_dicts()
+    assert len(lazy_rows) == len(eager_rows)
+    for a, b in zip(lazy_rows, eager_rows):
+        assert a["window_start_ts"] == b["window_start_ts"]
+        assert a["window_max_val"] == pytest.approx(b["window_max_val"])
+        assert a["window_mean_val"] == pytest.approx(b["window_mean_val"])

@@ -1,0 +1,92 @@
+"""Unit and property tests for the Steim-like codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.errors import FormatError
+from repro.mseed import steim
+
+
+class TestRoundtrip:
+    def test_empty(self):
+        assert len(steim.decode(steim.encode(np.asarray([], dtype=np.int64)))) == 0
+
+    def test_single_value(self):
+        out = steim.decode(steim.encode(np.asarray([42])))
+        assert out.tolist() == [42]
+
+    def test_single_negative(self):
+        out = steim.decode(steim.encode(np.asarray([-7])))
+        assert out.tolist() == [-7]
+
+    def test_constant_signal(self):
+        x = np.full(1000, 123, dtype=np.int64)
+        assert np.array_equal(steim.decode(steim.encode(x)), x)
+
+    def test_ramp(self):
+        x = np.arange(-500, 500, dtype=np.int64)
+        assert np.array_equal(steim.decode(steim.encode(x)), x)
+
+    def test_random_walk(self):
+        rng = np.random.default_rng(7)
+        x = np.cumsum(rng.integers(-100, 100, 5000)).astype(np.int64)
+        assert np.array_equal(steim.decode(steim.encode(x)), x)
+
+    def test_exactly_one_frame(self):
+        x = np.arange(steim.FRAME_SAMPLES + 1, dtype=np.int64)
+        assert np.array_equal(steim.decode(steim.encode(x)), x)
+
+    def test_frame_boundary_plus_one(self):
+        x = np.arange(steim.FRAME_SAMPLES + 2, dtype=np.int64)
+        assert np.array_equal(steim.decode(steim.encode(x)), x)
+
+    def test_large_magnitudes(self):
+        x = np.asarray([2**40, -(2**40), 2**40], dtype=np.int64)
+        assert np.array_equal(steim.decode(steim.encode(x)), x)
+
+
+class TestCompression:
+    def test_smooth_signal_compresses_well(self):
+        rng = np.random.default_rng(0)
+        x = np.cumsum(rng.integers(-30, 30, 20000)).astype(np.int64)
+        payload = steim.encode(x)
+        assert len(payload) < 0.25 * x.nbytes
+
+    def test_constant_compresses_extremely(self):
+        x = np.zeros(10000, dtype=np.int64)
+        payload = steim.encode(x)
+        assert len(payload) < 200
+
+    def test_noise_still_roundtrips(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(-(2**31), 2**31, 3000).astype(np.int64)
+        assert np.array_equal(steim.decode(steim.encode(x)), x)
+
+
+class TestErrors:
+    def test_truncated_header(self):
+        with pytest.raises(FormatError):
+            steim.decode(b"\x01\x02")
+
+    def test_truncated_payload(self):
+        x = np.arange(100, dtype=np.int64)
+        payload = steim.encode(x)
+        with pytest.raises(FormatError):
+            steim.decode(payload[:-5])
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(FormatError):
+            steim.encode(np.zeros((2, 2), dtype=np.int64))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=-(2**50), max_value=2**50),
+        max_size=1500,
+    )
+)
+def test_roundtrip_property(values):
+    x = np.asarray(values, dtype=np.int64)
+    assert np.array_equal(steim.decode(steim.encode(x)), x)

