@@ -10,7 +10,6 @@ variants degrade once data plus indexes outgrow the buffer pool.
 from conftest import run_once
 
 from repro.bench import run_fig7
-from repro.bench.timing import measure_cold_hot
 
 
 def test_fig7_single_query_performance(benchmark, ctx):

@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 
 import tempfile
 
-from repro import FileRepository, SommelierDB
+from repro import SommelierDB
 from repro.data import SCALE_TEST, build_or_reuse
 
 

@@ -20,10 +20,9 @@ from ..core.coloring import RuleSet
 from ..core.two_stage import TwoStageOptions
 from ..mseed import reader
 from ..workloads.generator import WorkloadSpec, generate_workload
-from ..workloads.queries import QUERY_BUILDERS, QueryParams
-from .experiments import ExperimentContext, T5_MAX_VAL, T5_STD_DEV
+from ..workloads.queries import QUERY_BUILDERS
+from .experiments import ExperimentContext
 from .reporting import ReportTable, format_seconds
-from .timing import time_call
 
 __all__ = [
     "run_ablation_rules",

@@ -17,13 +17,12 @@ from dataclasses import dataclass
 from ..core.loading import LoadReport, prepare
 from ..core.sommelier import SommelierDB
 from ..core.two_stage import TwoStageOptions
-from ..data.ingv import DAYS_PER_SF, EPOCH_2010_MS, build_or_reuse
-from ..mseed.repository import FileRepository
+from ..data.ingv import EPOCH_2010_MS, build_or_reuse
 from ..workloads.generator import TimeSpan
 from ..workloads.queries import QUERY_BUILDERS, QueryParams
 from .profiles import BenchProfile, active_profile
 from .reporting import ReportTable, format_bytes, format_seconds
-from .timing import measure_cold_hot, time_call
+from .timing import time_call
 
 __all__ = [
     "ExperimentContext",

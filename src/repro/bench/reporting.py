@@ -7,6 +7,7 @@ to ``bench_results/<experiment>.txt`` so EXPERIMENTS.md can quote them.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Sequence
@@ -79,10 +80,27 @@ class ReportTable:
             lines.append(f"note: {note}")
         return "\n".join(lines)
 
+    def to_json(self) -> dict[str, Any]:
+        """The machine-readable shape of this table (CI artifacts)."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
     def save(self, filename: str, root: str | None = None) -> str:
         path = os.path.join(results_dir(root), filename)
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.render() + "\n")
+        return path
+
+    def save_json(self, filename: str, root: str | None = None) -> str:
+        """Persist the JSON shape next to the text report."""
+        path = os.path.join(results_dir(root), filename)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, default=str)
+            handle.write("\n")
         return path
 
     def emit(self, filename: str, root: str | None = None) -> str:

@@ -32,7 +32,6 @@ from .bench import (
 )
 from .core.loading import APPROACHES, prepare
 from .data import SCALE_PAPER, SCALE_SMALL, SCALE_TEST, build_or_reuse
-from .mseed.repository import FileRepository
 
 __all__ = ["main", "build_parser"]
 
@@ -83,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--limit", type=int, default=20, help="max rows to print"
+    )
+    query.add_argument(
+        "--io-threads", type=int, default=None,
+        help="decode threads for the parallel stage-two pipeline",
+    )
+    query.add_argument(
+        "--clients", type=int, default=1,
+        help="run the query from N concurrent sessions and report throughput",
     )
 
     bench = commands.add_parser(
@@ -141,10 +148,17 @@ def _command_inspect(args: argparse.Namespace) -> int:
 
 
 def _command_query(args: argparse.Namespace) -> int:
+    from .core.two_stage import TwoStageOptions
+
     repository, _ = build_or_reuse(
         args.base, args.sf, SCALES[args.scale], args.fiam
     )
-    db, report = prepare(args.approach, repository)
+    options = (
+        TwoStageOptions(io_threads=args.io_threads)
+        if args.io_threads is not None
+        else None
+    )
+    db, report = prepare(args.approach, repository, options=options)
     try:
         print(
             f"prepared with {args.approach} in {report.total_seconds:.3f}s "
@@ -153,6 +167,8 @@ def _command_query(args: argparse.Namespace) -> int:
         if args.explain:
             print(db.explain(args.sql))
             return 0
+        if args.clients > 1:
+            return _run_concurrent_clients(db, args.sql, args.clients)
         result = db.query(args.sql)
         for row in result.table.to_dicts()[: args.limit]:
             print(row)
@@ -166,6 +182,30 @@ def _command_query(args: argparse.Namespace) -> int:
         return 0
     finally:
         db.close()
+
+
+def _run_concurrent_clients(db, sql: str, clients: int) -> int:
+    """Issue the same query from N pooled sessions at once."""
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    pool = db.session_pool(size=clients)
+
+    def one_client() -> float:
+        with pool.session() as session:
+            result = session.query(sql)
+            return result.seconds
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as executor:
+        latencies = list(executor.map(lambda _: one_client(), range(clients)))
+    wall = time.perf_counter() - started
+    print(
+        f"{clients} concurrent clients: {wall:.3f}s wall, "
+        f"{clients / wall:.2f} queries/s, "
+        f"avg latency {sum(latencies) / len(latencies) * 1000:.1f}ms"
+    )
+    return 0
 
 
 def _command_bench(args: argparse.Namespace) -> int:

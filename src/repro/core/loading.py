@@ -75,7 +75,7 @@ def _new_db(
     lazy: bool,
     buffer_pool_bytes: int,
     recycler_bytes: int,
-    options: TwoStageOptions,
+    options: TwoStageOptions | None,
 ) -> SommelierDB:
     return SommelierDB.create(
         workdir=workdir,
@@ -163,7 +163,7 @@ def prepare_lazy(
     workdir: str | None = None,
     buffer_pool_bytes: int = 256 * 1024 * 1024,
     recycler_bytes: int = 1 << 30,
-    options: TwoStageOptions = TwoStageOptions(),
+    options: TwoStageOptions | None = None,
     threads: int = 8,
 ) -> tuple[SommelierDB, LoadReport]:
     """Metadata-only preparation: the paper's contribution."""
@@ -179,7 +179,7 @@ def prepare_eager_plain(
     workdir: str | None = None,
     buffer_pool_bytes: int = 256 * 1024 * 1024,
     recycler_bytes: int = 1 << 30,
-    options: TwoStageOptions = TwoStageOptions(),
+    options: TwoStageOptions | None = None,
     threads: int = 8,
 ) -> tuple[SommelierDB, LoadReport]:
     """Direct mSEED → DBMS bulk load of everything."""
@@ -195,7 +195,7 @@ def prepare_eager_csv(
     workdir: str | None = None,
     buffer_pool_bytes: int = 256 * 1024 * 1024,
     recycler_bytes: int = 1 << 30,
-    options: TwoStageOptions = TwoStageOptions(),
+    options: TwoStageOptions | None = None,
     threads: int = 8,
 ) -> tuple[SommelierDB, LoadReport]:
     """mSEED → CSV → COPY INTO pipeline."""
@@ -211,7 +211,7 @@ def prepare_eager_index(
     workdir: str | None = None,
     buffer_pool_bytes: int = 256 * 1024 * 1024,
     recycler_bytes: int = 1 << 30,
-    options: TwoStageOptions = TwoStageOptions(),
+    options: TwoStageOptions | None = None,
     threads: int = 8,
 ) -> tuple[SommelierDB, LoadReport]:
     """eager_plain + primary and foreign key (join) indexes."""
@@ -229,7 +229,7 @@ def prepare_eager_dmd(
     workdir: str | None = None,
     buffer_pool_bytes: int = 256 * 1024 * 1024,
     recycler_bytes: int = 1 << 30,
-    options: TwoStageOptions = TwoStageOptions(),
+    options: TwoStageOptions | None = None,
     threads: int = 8,
 ) -> tuple[SommelierDB, LoadReport]:
     """eager_index + eagerly materialized derived metadata (full H view)."""

@@ -55,10 +55,17 @@ class XseedChunkLoader:
     The loader owns the URI → file_id mapping established at registration
     time (file ids are system-generated, which is why the paper can drop
     FK verification for lazy loading: the keys are correct by construction).
+
+    ``io_delay_ms`` models a remote repository (the paper's INGV archive
+    sits on network storage): every chunk fetch blocks that long before
+    decoding.  Like :meth:`Database.drop_caches` it is a measurement knob —
+    concurrency benchmarks use it to reproduce the latency-bound serving
+    regime on hardware where local files are page-cache warm.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, io_delay_ms: float = 0.0) -> None:
         self._file_ids: dict[str, int] = {}
+        self.io_delay_ms = io_delay_ms
 
     def assign(self, uri: str, file_id: int) -> None:
         self._file_ids[uri] = file_id
@@ -75,6 +82,7 @@ class XseedChunkLoader:
                 f"xseed chunks provide rows for table 'D', not {table_name!r}"
             )
         self.file_id_of(uri)  # unknown URIs fail before any file access
+        self._simulate_fetch_latency()
         return self._build_rows(uri, reader.read_samples(uri))
 
     def load_range(
@@ -87,8 +95,13 @@ class XseedChunkLoader:
                 f"xseed chunks provide rows for table 'D', not {table_name!r}"
             )
         self.file_id_of(uri)
+        self._simulate_fetch_latency()
         segments = reader.read_samples_in_range(uri, start_ms, end_ms)
         return self._build_rows(uri, segments)
+
+    def _simulate_fetch_latency(self) -> None:
+        if self.io_delay_ms > 0:
+            time.sleep(self.io_delay_ms / 1000.0)
 
     def _build_rows(self, uri: str, segments) -> Table:
         file_id = self.file_id_of(uri)

@@ -15,9 +15,12 @@ different predicates still benefit).
 
 The rewrite happens inside the MAL program: the Run-time Optimizer locates
 the pending ``EvalPlan`` instructions and replaces the relevant plan
-subtrees; with ``parallel_threads > 1`` it additionally injects a
-:class:`~repro.engine.mal.LoadChunks` statement so chunks load in parallel
-before stage two resumes (Section V-3's per-file parallelization).
+subtrees.  With ``io_threads > 1`` the scan is rewritten into a
+:class:`~repro.engine.algebra.ParallelChunkScan` — a morsel-style pipeline
+over the database's shared I/O pool in which chunk decodes overlap stage-two
+evaluation (the concurrent evolution of Section V-3's per-file
+parallelization; the serial per-chunk union remains the ``io_threads == 1``
+path).
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ from dataclasses import dataclass, field
 from ..engine import algebra
 from ..engine.database import Database
 from ..engine.errors import ExecutionError
-from ..engine.mal import EvalPlan, LoadChunks, MalProgram
+from ..engine.mal import EvalPlan, MalProgram
 from ..engine.physical import ExecutionContext
 from .schema import SommelierConfig
 
@@ -102,13 +105,16 @@ def rewrite_actual_scans(
     uris: list[str],
     report: RewriteReport,
     push_selections: bool = True,
-    force_cache_scan: bool = False,
+    io_threads: int = 1,
 ) -> algebra.LogicalPlan:
-    """Replace scans of actual-data tables by per-chunk access unions.
+    """Replace scans of actual-data tables by per-chunk access paths.
 
-    ``force_cache_scan`` emits cache-scans for every chunk (used together
-    with a preceding LoadChunks statement that warms the recycler; a
-    cache-scan degrades to a chunk-access on a miss, so semantics never
+    With ``io_threads == 1`` every required chunk becomes one branch of a
+    ``Union`` — a cache-scan if the Recycler holds it, a chunk-access
+    otherwise — evaluated serially.  With ``io_threads > 1`` the whole
+    chunk list becomes one :class:`~repro.engine.algebra.ParallelChunkScan`
+    that streams decodes through the shared I/O pool (cached chunks are
+    still served from the Recycler inside that pipeline, so semantics never
     depend on cache state).
     """
     actual = set(config.actual_tables)
@@ -116,8 +122,7 @@ def rewrite_actual_scans(
 
     def make_access(uri: str, scan: algebra.Scan,
                     predicate) -> algebra.LogicalPlan:
-        use_cache = force_cache_scan or uri in cached
-        if use_cache:
+        if uri in cached:
             access: algebra.LogicalPlan = algebra.CacheScan(
                 uri, scan.table_name, scan.schema
             )
@@ -126,6 +131,21 @@ def rewrite_actual_scans(
             return access
         return algebra.ChunkAccess(
             uri, scan.table_name, scan.schema, pushed_predicate=predicate
+        )
+
+    def make_chunk_set(
+        scan: algebra.Scan, predicate
+    ) -> algebra.LogicalPlan:
+        if io_threads > 1 and len(uris) > 1:
+            return algebra.ParallelChunkScan(
+                uris,
+                scan.table_name,
+                scan.schema,
+                pushed_predicate=predicate,
+                io_threads=io_threads,
+            )
+        return algebra.Union(
+            [make_access(uri, scan, predicate) for uri in uris]
         )
 
     def transform(node: algebra.LogicalPlan) -> algebra.LogicalPlan:
@@ -138,19 +158,15 @@ def rewrite_actual_scans(
             if not uris:
                 return node  # base table is empty in lazy mode: 0 rows
             predicate = node.predicate if push_selections else None
-            union = algebra.Union(
-                [make_access(uri, node.child, predicate) for uri in uris]
-            )
+            chunk_set = make_chunk_set(node.child, predicate)
             if not push_selections:
-                return algebra.Select(union, node.predicate)
-            return union
+                return algebra.Select(chunk_set, node.predicate)
+            return chunk_set
         if isinstance(node, algebra.Scan) and node.table_name in actual:
             report.rewrote_scans += 1
             if not uris:
                 return node
-            return algebra.Union(
-                [make_access(uri, node, None) for uri in uris]
-            )
+            return make_chunk_set(node, None)
         return _rebuild(node, transform)
 
     return transform(plan)
@@ -184,7 +200,7 @@ def make_runtime_optimizer(
     database: Database,
     config: SommelierConfig,
     report: RewriteReport,
-    parallel_threads: int = 1,
+    io_threads: int = 1,
     push_selections: bool = True,
 ):
     """Build the callback installed into ``CallRuntimeOptimizer``."""
@@ -204,25 +220,15 @@ def make_runtime_optimizer(
         uris = _required_uris(ctx, input_var, config, report)
         cached = database.recycler.cached_uris()
         report.cached_uris = sorted(set(uris) & cached)
-        missing = [uri for uri in uris if uri not in cached]
-        report.loaded_uris = list(missing)
+        report.loaded_uris = [uri for uri in uris if uri not in cached]
 
-        # Pre-loading whole chunks in parallel defeats the in-situ accessor,
-        # which decodes sub-chunk ranges inside the ChunkAccess operator.
-        parallel = (
-            parallel_threads > 1
-            and len(missing) > 1
-            and database.chunk_access_strategy != "in_situ"
+        # The parallel pipeline decodes whole chunks, which defeats the
+        # in-situ accessor (it decodes sub-chunk ranges inside the
+        # ChunkAccess operator) — fall back to the serial per-chunk union.
+        effective_threads = (
+            1 if database.chunk_access_strategy == "in_situ" else io_threads
         )
         new_tail: list = []
-        if parallel and missing:
-            new_tail.append(
-                LoadChunks(
-                    uris=missing,
-                    table_name=config.actual_tables[0],
-                    threads=parallel_threads,
-                )
-            )
         for instruction in program.instructions[next_pc:]:
             if isinstance(instruction, EvalPlan):
                 rewritten = rewrite_actual_scans(
@@ -232,7 +238,7 @@ def make_runtime_optimizer(
                     uris,
                     report,
                     push_selections=push_selections,
-                    force_cache_scan=parallel,
+                    io_threads=effective_threads,
                 )
                 new_tail.append(EvalPlan(instruction.var, rewritten))
             else:

@@ -33,7 +33,6 @@ import numpy as np
 from ..engine import algebra
 from ..engine.database import Database
 from ..engine.errors import PlanError
-from ..engine.expressions import Arithmetic, Expression
 from ..engine.mal import EvalPlan
 from ..engine.physical import ExecutionContext, execute_plan
 from ..engine.sql import bind_sql

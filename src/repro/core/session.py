@@ -1,0 +1,192 @@
+"""Sessions and connection pooling for concurrent query serving.
+
+The paper's setting — a BDMS serving "heavy traffic" over a shared file
+repository — needs more than a thread-safe engine: each client wants its
+own accounting while catalog, Recycler and buffer pool stay shared.  A
+:class:`SommelierSession` is that per-client handle; a :class:`SessionPool`
+is the bounded connection-pool facade a server front end would check
+sessions out of.
+
+Typical use::
+
+    db, _ = prepare("lazy", repository)
+    pool = db.session_pool(size=8)
+
+    def worker(sql: str):
+        with pool.session() as session:
+            return session.query(sql)
+
+All session state is thread-confined (one session must not be used by two
+threads at once — exactly the contract of a DB-API connection); everything
+shared underneath is synchronized by the engine.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from ..engine.errors import ExecutionError
+from ..engine.physical import ExecStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .partial_views import DerivationReport
+    from .sommelier import SommelierDB
+    from .two_stage import QueryResult
+
+__all__ = ["SommelierSession", "SessionPool"]
+
+
+class SommelierSession:
+    """One client's handle on a shared :class:`SommelierDB`.
+
+    Queries execute on the shared engine (one compiler, one recycler, one
+    buffer pool); the session accumulates its own
+    :class:`~repro.core.sommelier.SommelierStats` and
+    :class:`~repro.engine.physical.ExecStats` so per-client cost is
+    attributable even when many sessions run concurrently.
+    """
+
+    def __init__(self, db: "SommelierDB", session_id: int) -> None:
+        from .sommelier import SommelierStats
+
+        self.db = db
+        self.session_id = session_id
+        self.stats = SommelierStats()
+        self.exec_stats = ExecStats()
+        self._closed = False
+
+    # -- querying ----------------------------------------------------------
+
+    def query(self, sql: str) -> "QueryResult":
+        result, _ = self.query_with_derivation(sql)
+        return result
+
+    def query_with_derivation(
+        self, sql: str
+    ) -> tuple["QueryResult", "DerivationReport"]:
+        if self._closed:
+            raise ExecutionError(
+                f"session {self.session_id} is closed"
+            )
+        result, derivation = self.db.query_with_derivation(sql)
+        self._accumulate(result, derivation)
+        return result, derivation
+
+    def explain(self, sql: str) -> str:
+        return self.db.explain(sql)
+
+    def _accumulate(
+        self, result: "QueryResult", derivation: "DerivationReport"
+    ) -> None:
+        from .sommelier import SommelierStats
+
+        self.stats.merge(SommelierStats.delta_from(result, derivation))
+        self.exec_stats.merge(result.stats)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def reset_stats(self) -> None:
+        """Zero the per-session counters (pool reuse between clients)."""
+        from .sommelier import SommelierStats
+
+        self.stats = SommelierStats()
+        self.exec_stats = ExecStats()
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "SommelierSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SessionPool:
+    """A bounded pool of reusable sessions over one shared database.
+
+    ``size`` caps how many sessions are ever live at once; checking one out
+    blocks when all are busy, which doubles as admission control for a
+    server front end.  Sessions are reused across checkouts with their
+    counters reset, DB-API-connection-pool style.
+    """
+
+    def __init__(self, db: "SommelierDB", size: int = 4) -> None:
+        if size <= 0:
+            raise ExecutionError("session pool size must be positive")
+        self.db = db
+        self.size = size
+        self._idle: "queue.LifoQueue[SommelierSession]" = queue.LifoQueue()
+        self._created = 0
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def acquire(self, timeout: float | None = None) -> SommelierSession:
+        """Check a session out; blocks up to ``timeout`` when all are busy."""
+        if self._closed:
+            raise ExecutionError("session pool is closed")
+        try:
+            return self._idle.get_nowait()
+        except queue.Empty:
+            pass
+        with self._lock:
+            if self._created < self.size:
+                self._created += 1
+                return self.db.session()
+        try:
+            return self._idle.get(timeout=timeout)
+        except queue.Empty:
+            raise ExecutionError(
+                f"no session became free within {timeout}s "
+                f"(pool size {self.size})"
+            ) from None
+
+    def release(self, session: SommelierSession) -> None:
+        """Return a checked-out session; its counters are reset for reuse.
+
+        Returning to a closed pool closes the session instead of re-queueing
+        it — closure is terminal even for sessions in flight at close time.
+        A session the client closed itself is discarded (its slot frees up
+        for a fresh session) rather than re-queued unusable.
+        """
+        if self._closed:
+            session.close()
+            return
+        if session.closed:
+            # Replace rather than just discard: a waiter blocked on the
+            # idle queue would otherwise starve with capacity to spare.
+            self._idle.put(self.db.session())
+            return
+        session.reset_stats()
+        self._idle.put(session)
+
+    @contextmanager
+    def session(
+        self, timeout: float | None = None
+    ) -> Iterator[SommelierSession]:
+        checked_out = self.acquire(timeout=timeout)
+        try:
+            yield checked_out
+        finally:
+            self.release(checked_out)
+
+    def close(self) -> None:
+        self._closed = True
+        while True:
+            try:
+                self._idle.get_nowait().close()
+            except queue.Empty:
+                break
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -29,7 +29,8 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 
 from ..engine import algebra
 from ..engine.database import Database
@@ -53,24 +54,59 @@ class SommelierStats:
     windows_materialized: int = 0
     chunks_loaded_total: int = 0
 
+    def merge(self, other: "SommelierStats") -> None:
+        self.queries_executed += other.queries_executed
+        self.derivations += other.derivations
+        self.windows_materialized += other.windows_materialized
+        self.chunks_loaded_total += other.chunks_loaded_total
+
+    @classmethod
+    def delta_from(
+        cls, result: QueryResult, derivation: DerivationReport
+    ) -> "SommelierStats":
+        """The counter delta one answered query contributes.
+
+        The single source of the accounting rule, shared by the facade's
+        cumulative stats and per-session stats so they cannot drift.
+        """
+        delta = cls(queries_executed=1)
+        if derivation.applicable:
+            delta.derivations = 1
+            delta.windows_materialized = derivation.windows_inserted
+            delta.chunks_loaded_total = derivation.chunks_loaded
+        delta.chunks_loaded_total += result.stats.chunks_loaded
+        return delta
+
 
 class SommelierDB:
-    """One prepared database instance (lazy or eager)."""
+    """One prepared database instance (lazy or eager).
+
+    :meth:`query` is safe to call from multiple threads: the engine caches
+    (recycler, buffer pool) are internally synchronized, Algorithm-1
+    derivation is serialized by a facade-level lock (derived-metadata
+    inserts are the one shared write path at query time), and the stats
+    counters are updated under a mutex.  For per-client accounting use
+    :meth:`session` (or a :class:`~repro.core.session.SessionPool`), which
+    wraps this facade with per-session counters.
+    """
 
     def __init__(
         self,
         database: Database,
         config: SommelierConfig,
         lazy: bool = True,
-        options: TwoStageOptions = TwoStageOptions(),
+        options: TwoStageOptions | None = None,
     ) -> None:
         self.database = database
         self.config = config
         self.lazy = lazy
-        self.options = options
-        self.compiler = TwoStageCompiler(database, config, options)
+        self.options = options if options is not None else TwoStageOptions()
+        self.compiler = TwoStageCompiler(database, config, self.options)
         self.views = PartialViewManager(database, config, self.compiler, lazy)
         self.stats = SommelierStats()
+        self._stats_lock = threading.Lock()
+        self._derivation_lock = threading.Lock()
+        self._session_counter = 0
 
     # -- construction ----------------------------------------------------------
 
@@ -82,7 +118,7 @@ class SommelierDB:
         buffer_pool_bytes: int = 256 * 1024 * 1024,
         recycler_bytes: int = 1 << 30,
         recycler_policy: str = "lru",
-        options: TwoStageOptions = TwoStageOptions(),
+        options: TwoStageOptions | None = None,
     ) -> "SommelierDB":
         """A fresh database with the seismology warehouse schema installed."""
         database = Database(
@@ -110,14 +146,7 @@ class SommelierDB:
 
     def query(self, sql: str) -> QueryResult:
         """Answer a SQL query; runs Algorithm 1 first when DMd is involved."""
-        plan = self.bind(sql)
-        derivation = self.views.ensure_for_query(plan)
-        if self.lazy:
-            result = self.compiler.execute_two_stage(plan)
-        else:
-            result = self.compiler.execute_single_stage(plan)
-        self._account(result, derivation)
-        result.seconds += derivation.seconds
+        result, _ = self.query_with_derivation(sql)
         return result
 
     def query_with_derivation(
@@ -125,7 +154,11 @@ class SommelierDB:
     ) -> tuple[QueryResult, DerivationReport]:
         """Like :meth:`query` but also returns the Algorithm-1 report."""
         plan = self.bind(sql)
-        derivation = self.views.ensure_for_query(plan)
+        # Derivation inserts into H; serialize it so concurrent queries for
+        # overlapping windows cannot double-materialize (single-stage
+        # execution afterwards is lock-free).
+        with self._derivation_lock:
+            derivation = self.views.ensure_for_query(plan)
         if self.lazy:
             result = self.compiler.execute_two_stage(plan)
         else:
@@ -134,13 +167,25 @@ class SommelierDB:
         result.seconds += derivation.seconds
         return result, derivation
 
+    def session(self) -> "SommelierSession":
+        """A per-client handle with its own stats over this shared database."""
+        from .session import SommelierSession
+
+        with self._stats_lock:
+            self._session_counter += 1
+            session_id = self._session_counter
+        return SommelierSession(self, session_id)
+
+    def session_pool(self, size: int = 4) -> "SessionPool":
+        """A bounded pool of reusable sessions (the connection-pool facade)."""
+        from .session import SessionPool
+
+        return SessionPool(self, size)
+
     def _account(self, result: QueryResult, derivation: DerivationReport) -> None:
-        self.stats.queries_executed += 1
-        if derivation.applicable:
-            self.stats.derivations += 1
-            self.stats.windows_materialized += derivation.windows_inserted
-            self.stats.chunks_loaded_total += derivation.chunks_loaded
-        self.stats.chunks_loaded_total += result.stats.chunks_loaded
+        delta = SommelierStats.delta_from(result, derivation)
+        with self._stats_lock:
+            self.stats.merge(delta)
 
     def approximate_query(
         self, sql: str, fraction: float = 0.2, seed: int = 20150413

@@ -33,7 +33,6 @@ from ..engine.expressions import (
     Comparison,
     Expression,
     Literal,
-    conjoin,
 )
 from ..engine.join_graph import QueryGraph, build_query_graph
 from ..engine.mal import (
@@ -50,7 +49,7 @@ from ..engine.physical import (
     execute_plan,
 )
 from ..engine.table import Table
-from .coloring import ColoredGraph, OrderedJoin, RuleSet, order_joins
+from .coloring import ColoredGraph, RuleSet, order_joins
 from .runtime_rewrite import RewriteReport, make_runtime_optimizer
 from .schema import SommelierConfig
 
@@ -61,12 +60,25 @@ _JOIN_BLOCK_NODES = (algebra.Scan, algebra.Select, algebra.Join)
 
 @dataclass(frozen=True)
 class TwoStageOptions:
-    """Knobs for the compile-time and run-time optimizers."""
+    """Knobs for the compile-time and run-time optimizers.
+
+    ``io_threads`` sizes the shared decode pool of the morsel-style
+    stage-two pipeline (1 = the serial per-chunk union).  It defaults to
+    ``None``, which inherits ``parallel_threads`` — the historical knob
+    kept for compatibility with existing callers.
+    """
 
     rules: RuleSet = field(default_factory=RuleSet)
     parallel_threads: int = 4
+    io_threads: int | None = None
     push_selections_into_chunks: bool = True
     infer_time_bounds: bool = True
+
+    @property
+    def effective_io_threads(self) -> int:
+        return (
+            self.parallel_threads if self.io_threads is None else self.io_threads
+        )
 
 
 @dataclass
@@ -200,11 +212,11 @@ class TwoStageCompiler:
         self,
         database: Database,
         config: SommelierConfig,
-        options: TwoStageOptions = TwoStageOptions(),
+        options: TwoStageOptions | None = None,
     ) -> None:
         self.database = database
         self.config = config
-        self.options = options
+        self.options = options if options is not None else TwoStageOptions()
 
     # -- compilation -----------------------------------------------------------
 
@@ -249,7 +261,7 @@ class TwoStageCompiler:
             self.database,
             self.config,
             report,
-            parallel_threads=self.options.parallel_threads,
+            io_threads=self.options.effective_io_threads,
             push_selections=self.options.push_selections_into_chunks,
         )
         program = MalProgram(

@@ -24,7 +24,7 @@ from typing import Sequence
 from .errors import PlanError, TypeMismatchError
 from .expressions import Expression, referenced_columns
 from .table import Field, Schema
-from .types import BOOL, DataType, FLOAT64, INT64
+from .types import DataType, FLOAT64, INT64
 
 __all__ = [
     "LogicalPlan",
@@ -43,6 +43,7 @@ __all__ = [
     "ResultScan",
     "CacheScan",
     "ChunkAccess",
+    "ParallelChunkScan",
     "AGGREGATE_FUNCTIONS",
 ]
 
@@ -393,3 +394,45 @@ class ChunkAccess(LogicalPlan):
         if self.pushed_predicate is not None:
             return f"ChunkAccess({self.uri}, push={self.pushed_predicate!r})"
         return f"ChunkAccess({self.uri})"
+
+
+class ParallelChunkScan(LogicalPlan):
+    """Access path ingesting a whole chunk list through a shared I/O pool.
+
+    The morsel-style replacement for a serial ``Union`` of per-chunk
+    accesses: decodes of the listed URIs run concurrently on the database's
+    shared executor, and each chunk streams into predicate evaluation as
+    soon as its decode completes (decode overlaps evaluation).  Cached
+    chunks are served from the Recycler; loads of the same URI issued by
+    concurrent queries are coalesced (single-flight).  Row order is kept
+    deterministic: output rows follow the given URI order, exactly like the
+    serial union.
+    """
+
+    def __init__(
+        self,
+        uris: Sequence[str],
+        table_name: str,
+        schema: Schema,
+        pushed_predicate: Expression | None = None,
+        io_threads: int = 4,
+    ) -> None:
+        self.uris = tuple(uris)
+        self.table_name = table_name
+        self.schema = schema
+        self.pushed_predicate = pushed_predicate
+        self.io_threads = io_threads
+
+    def base_tables(self) -> set[str]:
+        return {self.table_name}
+
+    def describe(self) -> str:
+        suffix = (
+            f", push={self.pushed_predicate!r}"
+            if self.pushed_predicate is not None
+            else ""
+        )
+        return (
+            f"ParallelChunkScan({len(self.uris)} chunks, "
+            f"io_threads={self.io_threads}{suffix})"
+        )

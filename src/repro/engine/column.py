@@ -18,7 +18,7 @@ from typing import Any, Iterable, Iterator, Sequence
 import numpy as np
 
 from .errors import TypeMismatchError
-from .types import BOOL, DataType, FLOAT64, INT64, STRING, TIMESTAMP, infer_type
+from .types import BOOL, DataType, FLOAT64, STRING, infer_type
 
 __all__ = ["Column", "ColumnBuilder", "column_from_values"]
 

@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Protocol, Sequence
 
 import numpy as np
 
-from .catalog import Catalog, ForeignKey, TableKind
+from .catalog import Catalog
 from .column import Column
 from .errors import CatalogError, ExecutionError
 from .indexes import HashIndex, JoinIndex
@@ -95,6 +97,15 @@ class Database:
         # configured by the schema layer.
         self.chunk_access_strategy = "full"
         self.in_situ_time_columns: dict[str, str] = {}
+        # Shared chunk-I/O thread pool for the morsel-style stage-two
+        # pipeline; created lazily, sized by the largest request so far.
+        # Outgrown pools stay alive until close() — callers may still hold
+        # references and submit to them.
+        self._io_executor: ThreadPoolExecutor | None = None
+        self._io_executor_workers = 0
+        self._retired_io_executors: list[ThreadPoolExecutor] = []
+        self._io_executor_lock = threading.Lock()
+        self._load_accounting_lock = threading.Lock()
 
     # -- scanning -----------------------------------------------------------
 
@@ -174,6 +185,26 @@ class Database:
     def set_chunk_loader(self, loader: ChunkLoader) -> None:
         self.chunk_loader = loader
 
+    def io_executor(self, threads: int) -> ThreadPoolExecutor:
+        """The shared chunk-I/O pool, grown to at least ``threads`` workers.
+
+        One pool serves every concurrent query on this database so total
+        decode parallelism stays bounded regardless of client count.
+        """
+        threads = max(1, threads)
+        with self._io_executor_lock:
+            if self._io_executor is None or self._io_executor_workers < threads:
+                if self._io_executor is not None:
+                    # Never shut a pool down while other queries may still
+                    # hold it — retire it and reap on close().
+                    self._retired_io_executors.append(self._io_executor)
+                self._io_executor = ThreadPoolExecutor(
+                    max_workers=threads,
+                    thread_name_prefix=f"repro-io-{self.name}",
+                )
+                self._io_executor_workers = threads
+            return self._io_executor
+
     def load_chunk(self, uri: str, table_name: str) -> tuple[Table, float]:
         """Extract, transform and qualify one chunk (the chunk-access op).
 
@@ -187,7 +218,8 @@ class Database:
         started = time.perf_counter()
         raw = self.chunk_loader.load(uri, table_name)
         elapsed = time.perf_counter() - started
-        self.chunk_seconds_total += elapsed
+        with self._load_accounting_lock:
+            self.chunk_seconds_total += elapsed
         base = self.catalog.table(table_name)
         if raw.schema.names != base.schema.names:
             raise ExecutionError(
@@ -217,7 +249,8 @@ class Database:
         started = time.perf_counter()
         raw = loader.load_range(uri, table_name, start_ms, end_ms)
         elapsed = time.perf_counter() - started
-        self.chunk_seconds_total += elapsed
+        with self._load_accounting_lock:
+            self.chunk_seconds_total += elapsed
         qualified = raw.with_prefix(table_name)
         rowids = Column(INT64, np.full(raw.num_rows, -1, dtype=np.int64))
         chunk = Table(
@@ -322,6 +355,14 @@ class Database:
         )
 
     def close(self) -> None:
+        with self._io_executor_lock:
+            for retired in self._retired_io_executors:
+                retired.shutdown(wait=False)
+            self._retired_io_executors.clear()
+            if self._io_executor is not None:
+                self._io_executor.shutdown(wait=True)
+                self._io_executor = None
+                self._io_executor_workers = 0
         if self._tempdir is not None:
             self._tempdir.cleanup()
             self._tempdir = None

@@ -25,7 +25,6 @@ from .types import (
     FLOAT64,
     INT64,
     STRING,
-    TIMESTAMP,
     common_numeric_type,
     infer_type,
 )

@@ -22,7 +22,6 @@ mirror MonetDB's per-file parallelization.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -102,6 +101,10 @@ class LoadChunks(MalInstruction):
     injects; each file forms its own slice so loading parallelizes over
     files (the paper's static parallelization strategy — and its
     low-chunk-count underutilization caveat — follow directly).
+
+    Loads go through the Recycler's single-flight path on the database's
+    shared I/O pool, so concurrent queries preloading the same chunk list
+    decode every chunk exactly once between them.
     """
 
     uris: Sequence[str]
@@ -112,20 +115,23 @@ class LoadChunks(MalInstruction):
         database = ctx.database
         missing = [uri for uri in self.uris if uri not in database.recycler]
 
-        def load_one(uri: str) -> tuple[str, Table, float]:
-            table, cost = database.load_chunk(uri, self.table_name)
-            return uri, table, cost
+        def load_one(uri: str) -> tuple[Table, str, float]:
+            return database.recycler.get_or_load(
+                uri, lambda u: database.load_chunk(u, self.table_name)
+            )
 
         if self.threads > 1 and len(missing) > 1:
-            with ThreadPoolExecutor(max_workers=self.threads) as pool:
-                results = list(pool.map(load_one, missing))
+            pool = database.io_executor(self.threads)
+            results = list(pool.map(load_one, missing))
         else:
             results = [load_one(uri) for uri in missing]
-        for uri, table, cost in results:
-            database.recycler.put(uri, table, cost)
-            ctx.stats.chunks_loaded += 1
-            ctx.stats.chunk_rows_loaded += table.num_rows
-            ctx.stats.chunk_load_seconds += cost
+        for table, outcome, cost in results:
+            if outcome == "loaded":
+                ctx.stats.chunks_loaded += 1
+                ctx.stats.chunk_rows_loaded += table.num_rows
+                ctx.stats.chunk_load_seconds += cost
+            else:  # raced with a concurrent query's load of the same chunk
+                ctx.stats.chunks_from_cache += 1
 
     def describe(self) -> str:
         return (

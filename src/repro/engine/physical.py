@@ -19,6 +19,7 @@ projections and final result delivery.
 
 from __future__ import annotations
 
+from concurrent.futures import as_completed
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -29,7 +30,7 @@ from .column import Column
 from .errors import ExecutionError, PlanError
 from .expressions import Comparison, ColumnRef, Expression, conjuncts
 from .hashjoin import composite_codes_pair, equi_join_pairs
-from .table import Field, Schema, Table
+from .table import Schema, Table
 from .types import FLOAT64, INT64, STRING, TIMESTAMP
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -62,6 +63,16 @@ class ExecStats:
         self.joins_executed = 0
         self.join_index_hits = 0
         self.rows_joined = 0
+
+    def merge(self, other: "ExecStats") -> None:
+        self.rows_scanned += other.rows_scanned
+        self.chunks_loaded += other.chunks_loaded
+        self.chunks_from_cache += other.chunks_from_cache
+        self.chunk_rows_loaded += other.chunk_rows_loaded
+        self.chunk_load_seconds += other.chunk_load_seconds
+        self.joins_executed += other.joins_executed
+        self.join_index_hits += other.join_index_hits
+        self.rows_joined += other.rows_joined
 
 
 @dataclass
@@ -116,6 +127,8 @@ def execute_plan(plan: algebra.LogicalPlan, ctx: ExecutionContext) -> Table:
         return _execute_cache_scan(plan, ctx)
     if isinstance(plan, algebra.ChunkAccess):
         return _execute_chunk_access(plan, ctx)
+    if isinstance(plan, algebra.ParallelChunkScan):
+        return _execute_parallel_chunk_scan(plan, ctx)
     raise PlanError(f"no physical implementation for {type(plan).__name__}")
 
 
@@ -148,20 +161,86 @@ def _execute_cache_scan(plan: algebra.CacheScan, ctx: ExecutionContext) -> Table
     return _align_chunk(cached, plan.schema)
 
 
+def _record_chunk_outcome(
+    ctx: ExecutionContext, chunk: Table, outcome: str, cost_seconds: float
+) -> None:
+    """Account one recycler ``get_or_load`` outcome into the exec stats."""
+    if outcome == "loaded":
+        ctx.stats.chunks_loaded += 1
+        ctx.stats.chunk_rows_loaded += chunk.num_rows
+        ctx.stats.chunk_load_seconds += cost_seconds
+    else:  # "hit" or "coalesced": another query (or this one) paid the cost
+        ctx.stats.chunks_from_cache += 1
+
+
 def _execute_chunk_access(plan: algebra.ChunkAccess, ctx: ExecutionContext) -> Table:
     in_situ = _try_in_situ_access(plan, ctx)
     if in_situ is not None:
         return in_situ
-    loaded, cost_seconds = ctx.database.load_chunk(plan.uri, plan.table_name)
-    ctx.stats.chunks_loaded += 1
-    ctx.stats.chunk_rows_loaded += loaded.num_rows
-    ctx.stats.chunk_load_seconds += cost_seconds
-    ctx.database.recycler.put(plan.uri, loaded, cost_seconds)
-    result = _align_chunk(loaded, plan.schema)
+    database = ctx.database
+    chunk, outcome, cost_seconds = database.recycler.get_or_load(
+        plan.uri, lambda uri: database.load_chunk(uri, plan.table_name)
+    )
+    _record_chunk_outcome(ctx, chunk, outcome, cost_seconds)
+    result = _align_chunk(chunk, plan.schema)
     if plan.pushed_predicate is not None:
         mask = np.asarray(plan.pushed_predicate.evaluate(result), dtype=np.bool_)
         result = result.filter(mask)
     return result
+
+
+def _execute_parallel_chunk_scan(
+    plan: algebra.ParallelChunkScan, ctx: ExecutionContext
+) -> Table:
+    """Morsel-style stage-two pipeline over a rewritten chunk list.
+
+    Decodes are submitted to the database's shared I/O pool; as each chunk
+    completes it is aligned and filtered on the query thread while the
+    remaining decodes keep running — decode overlaps evaluation.  The final
+    concatenation preserves URI order so results match serial execution.
+    """
+    if not plan.uris:
+        return Table.empty(plan.schema)
+    database = ctx.database
+
+    def decode(uri: str) -> tuple[Table, str, float]:
+        return database.recycler.get_or_load(
+            uri, lambda u: database.load_chunk(u, plan.table_name)
+        )
+
+    pieces: list[Table | None] = [None] * len(plan.uris)
+
+    def ingest(index: int, chunk: Table, outcome: str, cost: float) -> None:
+        _record_chunk_outcome(ctx, chunk, outcome, cost)
+        piece = _align_chunk(chunk, plan.schema)
+        if plan.pushed_predicate is not None:
+            mask = np.asarray(
+                plan.pushed_predicate.evaluate(piece), dtype=np.bool_
+            )
+            piece = piece.filter(mask)
+        pieces[index] = piece
+
+    if plan.io_threads > 1 and len(plan.uris) > 1:
+        executor = database.io_executor(plan.io_threads)
+        futures = {
+            executor.submit(decode, uri): index
+            for index, uri in enumerate(plan.uris)
+        }
+        try:
+            for future in as_completed(futures):
+                chunk, outcome, cost = future.result()
+                ingest(futures[future], chunk, outcome, cost)
+        except BaseException:
+            # Don't leave doomed decodes occupying the shared pool.
+            for pending in futures:
+                pending.cancel()
+            raise
+    else:
+        for index, uri in enumerate(plan.uris):
+            chunk, outcome, cost = decode(uri)
+            ingest(index, chunk, outcome, cost)
+
+    return Table.concat_all([piece for piece in pieces if piece is not None])
 
 
 def _try_in_situ_access(

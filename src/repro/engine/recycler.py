@@ -1,4 +1,4 @@
-"""The Recycler: a budgeted cache for lazily loaded chunks.
+"""The Recycler: a budgeted, thread-safe cache for lazily loaded chunks.
 
 The paper reuses MonetDB's Recycler [Ivanova et al., SIGMOD'09] to cache the
 actual data ingested by ``chunk-access`` operators so that subsequent queries
@@ -13,18 +13,33 @@ This module implements that component with two replacement policies:
 
 Entries are keyed by chunk URI and hold the decoded :class:`Table` for that
 chunk, plus the observed loading cost used by the cost-aware policy.
+
+Concurrency model (the concurrent-serving work):
+
+* every entry/stats/byte-accounting mutation happens under one internal
+  mutex, so :class:`RecyclerStats` and ``bytes_cached`` stay exact no
+  matter how many threads hammer the cache;
+* chunk *loading* is coordinated by lock-striped single-flight slots:
+  concurrent :meth:`get_or_load` calls for the same URI wait on the one
+  thread that is decoding it (each chunk is decoded exactly once), while
+  loads of different URIs proceed fully in parallel.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable
 
 from .errors import StorageError
 from .table import Table
 
 __all__ = ["RecyclerEntry", "RecyclerStats", "Recycler"]
+
+# How many independent single-flight stripes coordinate in-flight loads.
+# URIs hash onto stripes; loads of URIs on different stripes never contend.
+STRIPE_COUNT = 16
 
 
 @dataclass
@@ -45,13 +60,19 @@ class RecyclerEntry:
 
 @dataclass
 class RecyclerStats:
-    """Counters for experiments (cache effectiveness, Section VI-C hot runs)."""
+    """Counters for experiments (cache effectiveness, Section VI-C hot runs).
+
+    ``coalesced`` counts :meth:`Recycler.get_or_load` calls that piggybacked
+    on another thread's in-flight load of the same URI instead of decoding
+    the chunk themselves.
+    """
 
     hits: int = 0
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
     bytes_evicted: int = 0
+    coalesced: int = 0
 
     def reset(self) -> None:
         self.hits = 0
@@ -59,6 +80,19 @@ class RecyclerStats:
         self.insertions = 0
         self.evictions = 0
         self.bytes_evicted = 0
+        self.coalesced = 0
+
+
+class _InflightLoad:
+    """Single-flight slot: the loading thread publishes here, waiters block."""
+
+    __slots__ = ("event", "table", "cost", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.table: Table | None = None
+        self.cost = 0.0
+        self.error: BaseException | None = None
 
 
 class Recycler:
@@ -67,6 +101,8 @@ class Recycler:
     The budget mirrors the paper's workload experiments, which "limit the
     size of the recycler cache holding the lazily loaded files to the size
     of main memory" (Section VI-E).
+
+    All public methods are safe to call from multiple threads.
     """
 
     POLICIES = ("lru", "cost_aware")
@@ -85,38 +121,73 @@ class Recycler:
         self.stats = RecyclerStats()
         self._entries: dict[str, RecyclerEntry] = {}
         self._bytes_cached = 0
+        # One mutex guards entries + stats + byte accounting (exactness);
+        # striped locks guard only the single-flight load coordination, so
+        # waiting on one URI's decode never blocks another URI's.
+        self._lock = threading.RLock()
+        self._stripes = [threading.Lock() for _ in range(STRIPE_COUNT)]
+        self._inflight: list[dict[str, _InflightLoad]] = [
+            {} for _ in range(STRIPE_COUNT)
+        ]
+
+    def _stripe_of(self, uri: str) -> tuple[threading.Lock, dict[str, _InflightLoad]]:
+        index = hash(uri) % STRIPE_COUNT
+        return self._stripes[index], self._inflight[index]
 
     # -- introspection -----------------------------------------------------
 
     @property
     def bytes_cached(self) -> int:
-        return self._bytes_cached
+        with self._lock:
+            return self._bytes_cached
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, uri: str) -> bool:
-        return uri in self._entries
+        with self._lock:
+            return uri in self._entries
 
     def cached_uris(self) -> set[str]:
         """The set C of cached chunks used by rewrite rule (1)."""
-        return set(self._entries)
+        with self._lock:
+            return set(self._entries)
 
-    def entries(self) -> Iterator[RecyclerEntry]:
-        return iter(self._entries.values())
+    def entries(self) -> list[RecyclerEntry]:
+        """A snapshot of the current entries (stable under concurrent use)."""
+        with self._lock:
+            return list(self._entries.values())
 
     # -- cache protocol ------------------------------------------------------
 
     def get(self, uri: str) -> Table | None:
         """Cache-scan: the chunk's table, or None on a miss."""
-        entry = self._entries.get(uri)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        entry.access_count += 1
-        entry.last_access = time.monotonic()
-        self.stats.hits += 1
-        return entry.table
+        with self._lock:
+            entry = self._entries.get(uri)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            entry.access_count += 1
+            entry.last_access = time.monotonic()
+            self.stats.hits += 1
+            return entry.table
+
+    def _peek(self, uri: str) -> Table | None:
+        """Like :meth:`get` but records only hits, never a miss.
+
+        Used by :meth:`get_or_load`, whose lookups are provisional: each
+        call contributes exactly one of hit / miss / coalesced to the
+        stats, decided only once the outcome is known.
+        """
+        with self._lock:
+            entry = self._entries.get(uri)
+            if entry is None:
+                return None
+            entry.access_count += 1
+            entry.last_access = time.monotonic()
+            self.stats.hits += 1
+            return entry.table
 
     def put(self, uri: str, table: Table, loading_cost: float) -> bool:
         """Admit a freshly loaded chunk; returns False if it cannot fit.
@@ -127,29 +198,100 @@ class Recycler:
         nbytes = table.nbytes
         if nbytes > self.budget_bytes:
             return False
-        existing = self._entries.pop(uri, None)
-        if existing is not None:
-            self._bytes_cached -= existing.nbytes
-        self._evict_until_fits(nbytes)
-        self._entries[uri] = RecyclerEntry(
-            uri=uri, table=table, loading_cost=loading_cost, nbytes=nbytes
-        )
-        self._bytes_cached += nbytes
-        self.stats.insertions += 1
+        with self._lock:
+            existing = self._entries.pop(uri, None)
+            if existing is not None:
+                self._bytes_cached -= existing.nbytes
+            self._evict_until_fits(nbytes)
+            self._entries[uri] = RecyclerEntry(
+                uri=uri, table=table, loading_cost=loading_cost, nbytes=nbytes
+            )
+            self._bytes_cached += nbytes
+            self.stats.insertions += 1
         return True
 
+    def get_or_load(
+        self, uri: str, loader: Callable[[str], tuple[Table, float]]
+    ) -> tuple[Table, str, float]:
+        """The single-flight chunk-access path.
+
+        Returns ``(table, outcome, loading_cost)`` with outcome one of:
+
+        * ``"hit"`` — the chunk was already cached;
+        * ``"loaded"`` — this call decoded the chunk (and admitted it);
+        * ``"coalesced"`` — another thread was already decoding the same
+          URI; this call waited for that result instead of loading twice.
+
+        ``loader(uri)`` must return ``(table, seconds)``; it runs outside
+        every recycler lock so independent loads overlap freely.  A loader
+        failure is propagated to the owner and every coalesced waiter.
+
+        Each call counts exactly one of hit / miss / coalesced in the
+        stats, so the ratios stay exact under contention.
+        """
+        cached = self._peek(uri)
+        if cached is not None:
+            return cached, "hit", 0.0
+
+        stripe_lock, inflight = self._stripe_of(uri)
+        with stripe_lock:
+            flight = inflight.get(uri)
+            if flight is None:
+                # Re-check the cache before taking ownership: a flight that
+                # completed between our first probe and this point has
+                # already admitted the table, and decoding again would break
+                # the exactly-once guarantee.  (Lock order stripe → global
+                # is uniform across the class, so this nesting is safe.)
+                cached = self._peek(uri)
+                if cached is not None:
+                    return cached, "hit", 0.0
+                flight = _InflightLoad()
+                inflight[uri] = flight
+                with self._lock:
+                    self.stats.misses += 1
+                is_owner = True
+            else:
+                is_owner = False
+
+        if not is_owner:
+            flight.event.wait()
+            if flight.error is not None or flight.table is None:
+                raise flight.error or StorageError(
+                    f"in-flight load of {uri!r} produced no table"
+                )
+            with self._lock:
+                self.stats.coalesced += 1
+            return flight.table, "coalesced", flight.cost
+
+        try:
+            table, cost = loader(uri)
+            flight.table = table
+            flight.cost = cost
+            self.put(uri, table, cost)
+            return table, "loaded", cost
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with stripe_lock:
+                inflight.pop(uri, None)
+            flight.event.set()
+
     def invalidate(self, uri: str) -> None:
-        entry = self._entries.pop(uri, None)
-        if entry is not None:
-            self._bytes_cached -= entry.nbytes
+        with self._lock:
+            entry = self._entries.pop(uri, None)
+            if entry is not None:
+                self._bytes_cached -= entry.nbytes
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._bytes_cached = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes_cached = 0
 
     # -- replacement ---------------------------------------------------------
 
     def _evict_until_fits(self, incoming: int) -> None:
+        # Caller holds self._lock.
         while self._entries and self._bytes_cached + incoming > self.budget_bytes:
             victim = self._choose_victim()
             entry = self._entries.pop(victim)

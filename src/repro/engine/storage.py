@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
@@ -78,6 +79,10 @@ class BufferPool:
     a page larger than the budget is allowed (it becomes the only resident
     page and is evicted on the next load).  ``stats`` counts hits, misses and
     evictions so experiments can verify the memory cliff.
+
+    Concurrent queries share one pool, so the page map and its accounting
+    are guarded by a mutex; page decoding itself (``loader()``) runs outside
+    the lock so concurrent misses on different pages overlap their I/O.
     """
 
     def __init__(self, budget_bytes: int = 256 * 1024 * 1024) -> None:
@@ -87,40 +92,53 @@ class BufferPool:
         self.stats = PoolStats()
         self._pages: "OrderedDict[PageId, np.ndarray]" = OrderedDict()
         self._bytes_cached = 0
+        self._lock = threading.RLock()
 
     @property
     def bytes_cached(self) -> int:
-        return self._bytes_cached
+        with self._lock:
+            return self._bytes_cached
 
     @property
     def num_pages(self) -> int:
-        return len(self._pages)
+        with self._lock:
+            return len(self._pages)
 
     def clear(self) -> None:
         """Drop every cached page (the \"restart the server\" of the paper)."""
-        self._pages.clear()
-        self._bytes_cached = 0
+        with self._lock:
+            self._pages.clear()
+            self._bytes_cached = 0
 
     def invalidate_table(self, table: str) -> None:
         """Drop cached pages belonging to one table (used on re-load)."""
-        stale = [pid for pid in self._pages if pid.table == table]
-        for pid in stale:
-            self._bytes_cached -= self._page_nbytes(self._pages.pop(pid))
+        with self._lock:
+            stale = [pid for pid in self._pages if pid.table == table]
+            for pid in stale:
+                self._bytes_cached -= self._page_nbytes(self._pages.pop(pid))
+
     def get(self, page_id: PageId, loader) -> np.ndarray:
         """Return the page, loading through ``loader()`` on a miss."""
-        cached = self._pages.get(page_id)
-        if cached is not None:
-            self._pages.move_to_end(page_id)
-            self.stats.hits += 1
-            return cached
-        self.stats.misses += 1
+        with self._lock:
+            cached = self._pages.get(page_id)
+            if cached is not None:
+                self._pages.move_to_end(page_id)
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
         page = loader()
         nbytes = self._page_nbytes(page)
-        self.stats.bytes_read += nbytes
-        self._admit(page_id, page, nbytes)
+        with self._lock:
+            self.stats.bytes_read += nbytes
+            self._admit(page_id, page, nbytes)
         return page
 
     def _admit(self, page_id: PageId, page: np.ndarray, nbytes: int) -> None:
+        # Caller holds self._lock.  A page admitted twice by racing misses
+        # replaces itself; the accounting stays exact either way.
+        existing = self._pages.pop(page_id, None)
+        if existing is not None:
+            self._bytes_cached -= self._page_nbytes(existing)
         while self._bytes_cached + nbytes > self.budget_bytes and self._pages:
             _, evicted = self._pages.popitem(last=False)
             self._bytes_cached -= self._page_nbytes(evicted)

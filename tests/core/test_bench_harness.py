@@ -34,7 +34,7 @@ class TestReportTable:
         text = table.render()
         assert "Demo" in text
         lines = text.splitlines()
-        assert len({len(l) for l in lines[2:5]}) <= 2  # headers+rows aligned
+        assert len({len(line) for line in lines[2:5]}) <= 2  # aligned
 
     def test_row_width_checked(self):
         table = ReportTable("T", ["a", "b"])

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.data.ingv import EPOCH_2010_MS
 from repro.workloads import QueryParams, t4_query
 
 MILLIS_PER_DAY = 24 * 3600 * 1000

@@ -1,6 +1,5 @@
 """Unit tests for Algorithm 1's predicate-extraction internals."""
 
-import pytest
 
 from repro.core.partial_views import (
     _aliases_of,

@@ -5,7 +5,6 @@ import pytest
 from repro.core.runtime_rewrite import RewriteReport, rewrite_actual_scans
 from repro.engine import algebra
 from repro.engine.expressions import Comparison, col, lit
-from repro.workloads import QueryParams, t4_query
 
 
 def find_nodes(plan, node_type):
@@ -113,13 +112,37 @@ class TestRewriteRule1:
         assert rewritten is scan_f or isinstance(rewritten, algebra.Scan)
         assert report.rewrote_scans == 0
 
-    def test_force_cache_scan(self, lazy_db, scan_d, uris):
+    def test_parallel_rewrite_emits_pipeline_node(self, lazy_db, scan_d, uris):
         report = RewriteReport()
         rewritten = rewrite_actual_scans(
             scan_d, lazy_db.database, lazy_db.config, uris, report,
-            force_cache_scan=True,
+            io_threads=4,
         )
-        assert len(find_nodes(rewritten, algebra.CacheScan)) == 3
+        assert isinstance(rewritten, algebra.ParallelChunkScan)
+        assert list(rewritten.uris) == uris
+        assert rewritten.io_threads == 4
+        assert report.rewrote_scans == 1
+
+    def test_parallel_rewrite_pushes_selection(self, lazy_db, scan_d, uris):
+        predicate = Comparison(">", col("D.sample_value"), lit(0))
+        plan = algebra.Select(scan_d, predicate)
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            plan, lazy_db.database, lazy_db.config, uris, report,
+            push_selections=True, io_threads=4,
+        )
+        assert isinstance(rewritten, algebra.ParallelChunkScan)
+        assert rewritten.pushed_predicate is predicate
+
+    def test_parallel_rewrite_single_chunk_stays_serial(
+        self, lazy_db, scan_d, uris
+    ):
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            scan_d, lazy_db.database, lazy_db.config, uris[:1], report,
+            io_threads=4,
+        )
+        assert isinstance(rewritten, algebra.Union)
 
     def test_rewrite_inside_join(self, lazy_db, scan_d, uris):
         scan_s = algebra.Scan("S", lazy_db.database.qualified_schema("S"))

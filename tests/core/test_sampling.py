@@ -1,11 +1,9 @@
 """Tests for approximate query answering via chunk sampling (§VIII)."""
 
-import math
 
 import pytest
 
 from repro.core.sampling import ChunkSampler
-from repro.data.ingv import EPOCH_2010_MS
 from repro.engine.errors import PlanError
 from repro.workloads import QueryParams, t4_query
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.query_types import QueryType, classify_plan
-from repro.data.ingv import EPOCH_2010_MS
 from repro.workloads import (
     QueryParams,
     t1_query,

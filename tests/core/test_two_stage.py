@@ -1,12 +1,10 @@
 """Tests for the two-stage execution model and the run-time rewrite."""
 
-import pytest
 
 from repro.core.two_stage import TwoStageOptions
-from repro.data.ingv import EPOCH_2010_MS
 from repro.engine import algebra
 from repro.engine.mal import CallRuntimeOptimizer, EvalPlan, ReturnValue
-from repro.workloads import QueryParams, t1_query, t4_query, t5_query
+from repro.workloads import QueryParams, t1_query, t4_query
 
 MILLIS_PER_DAY = 24 * 3600 * 1000
 

@@ -15,7 +15,7 @@ from repro.data import (
     split_into_segments,
     station_by_code,
 )
-from repro.data.ingv import EPOCH_2010_MS, RepoScale
+from repro.data.ingv import EPOCH_2010_MS
 from repro.mseed import reader
 
 

@@ -1,6 +1,5 @@
 """Tests for the catalog, index structures, query graph, and MAL layer."""
 
-import numpy as np
 import pytest
 
 from repro.engine import algebra

@@ -7,10 +7,8 @@ from hypothesis import given, strategies as st
 from repro.engine.expressions import (
     Arithmetic,
     BooleanOp,
-    ColumnRef,
     Comparison,
     IsIn,
-    Literal,
     col,
     conjoin,
     conjuncts,

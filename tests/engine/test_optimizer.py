@@ -8,7 +8,6 @@ from repro.engine.database import Database
 from repro.engine.expressions import (
     BooleanOp,
     Comparison,
-    Literal,
     col,
     lit,
 )

@@ -19,7 +19,7 @@ from repro.engine.physical import (
     execute_plan,
 )
 from repro.engine.table import Schema, Table
-from repro.engine.types import FLOAT64, INT64, STRING
+from repro.engine.types import INT64, STRING
 
 
 @pytest.fixture()
@@ -182,7 +182,6 @@ class TestJoinIndexPath:
         via_index = execute_plan(plan, ExecutionContext(indexed_db))
         indexed_db.join_indexes.clear()
         via_hash = execute_plan(plan, ExecutionContext(indexed_db))
-        key = lambda t: sorted(map(tuple, t.to_dicts()[0].items())) if t.num_rows else []
         assert sorted(map(str, via_index.to_dicts())) == sorted(
             map(str, via_hash.to_dicts())
         )

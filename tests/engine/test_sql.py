@@ -6,7 +6,7 @@ from repro.engine import algebra
 from repro.engine.catalog import TableKind
 from repro.engine.database import Database
 from repro.engine.errors import BindError, LexerError, ParseError
-from repro.engine.expressions import BooleanOp, Comparison, IsIn, Literal
+from repro.engine.expressions import BooleanOp, IsIn, Literal
 from repro.engine.physical import ExecutionContext, execute_plan
 from repro.engine.sql import bind_sql, parse_select, tokenize
 from repro.engine.sql.ast_nodes import AggregateCall

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.engine.column import Column
 from repro.engine.errors import StorageError
 from repro.engine.storage import BufferPool, PageId, PagedColumnStore
 from repro.engine.table import Schema, Table

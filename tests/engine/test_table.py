@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.engine.errors import CatalogError, TypeMismatchError
-from repro.engine.table import Field, Schema, Table, TableBuilder
+from repro.engine.table import Schema, Table, TableBuilder
 from repro.engine.types import FLOAT64, INT64, STRING
 
 

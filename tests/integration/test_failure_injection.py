@@ -15,7 +15,6 @@ from repro.engine.errors import EngineError, FormatError
 from repro.mseed import writer
 from repro.mseed.repository import FileRepository
 from repro.mseed.writer import SegmentData
-from repro.workloads import QueryParams, t4_query
 
 MILLIS_PER_DAY = 24 * 3600 * 1000
 

@@ -85,9 +85,6 @@ class TestWorkloadGeneration:
         queries = generate_workload(spec, span)
         assert str(span.start_ms // 1) or True
         # All generated queries parse and stay inside the workload space.
-        from repro.engine.types import parse_timestamp
-
-        space_end = span.start_ms + int(span.length_ms * 0.6)
         for sql in queries:
             statement = parse_select(sql)
             assert statement.from_name == "dataview"
