@@ -205,6 +205,10 @@ def run(args: argparse.Namespace) -> ReportTable:
             recycler_bytes=args.remote_recycler_bytes,
         )
         db.database.chunk_loader.io_delay_ms = args.fetch_latency_ms
+        # The remote regime models a working set that does NOT fit locally;
+        # spilling evictions to the on-disk tier would let every re-fetch
+        # become a local mmap re-hydrate and dissolve the regime.
+        db.database.recycler.spill_on_evict = False
         try:
             for sql in queries[: len(STATIONS)]:  # derive DMd, warm nothing
                 db.query(sql)

@@ -103,6 +103,11 @@ def run_ablation_recycler(ctx: ExperimentContext) -> ReportTable:
     for policy in ("lru", "cost_aware"):
         db, _ = prepare("lazy", repository, recycler_bytes=budget)
         db.database.recycler.policy = policy
+        # This ablation compares replacement policies by how often they
+        # force a re-decode; spilling evictions to the disk tier would
+        # turn every re-decode into a cheap re-hydrate and erase the
+        # difference being measured.
+        db.database.recycler.spill_on_evict = False
         started = time.perf_counter()
         loads = 0
         for sql in queries:

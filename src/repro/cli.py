@@ -5,6 +5,8 @@ Usage::
     python -m repro build --base /tmp/data --sf 3 --scale test
     python -m repro query --base /tmp/data --sf 3 --scale test \
         --sql "SELECT COUNT(*) AS n FROM gmdview" [--approach lazy] [--explain]
+    python -m repro cache --base /tmp/data --sf 3 --scale test \
+        --sql "SELECT COUNT(*) AS n FROM dataview" [--json] [--workdir /tmp/db]
     python -m repro bench --experiment fig6 [--profile quick]
     python -m repro inspect --base /tmp/data --sf 3 --scale test
 
@@ -88,8 +90,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="decode threads for the parallel stage-two pipeline",
     )
     query.add_argument(
+        "--executor", default=None, choices=("thread", "process"),
+        help="stage-two decode executor (process = GIL-free workers)",
+    )
+    query.add_argument(
         "--clients", type=int, default=1,
         help="run the query from N concurrent sessions and report throughput",
+    )
+
+    cache = commands.add_parser(
+        "cache",
+        help="print per-tier recycler statistics (memory + on-disk store)",
+    )
+    _add_dataset_args(cache)
+    cache.add_argument(
+        "--sql", action="append", default=None,
+        help="query to run before reporting (repeatable)",
+    )
+    cache.add_argument(
+        "--workdir", default=None,
+        help="persistent database directory; reopened warm when it holds "
+        "a checkpoint",
+    )
+    cache.add_argument("--json", action="store_true", help="emit JSON")
+    cache.add_argument(
+        "--io-threads", type=int, default=None,
+        help="decode threads for the parallel stage-two pipeline",
+    )
+    cache.add_argument(
+        "--executor", default=None, choices=("thread", "process"),
+        help="stage-two decode executor",
     )
 
     bench = commands.add_parser(
@@ -153,11 +183,12 @@ def _command_query(args: argparse.Namespace) -> int:
     repository, _ = build_or_reuse(
         args.base, args.sf, SCALES[args.scale], args.fiam
     )
-    options = (
-        TwoStageOptions(io_threads=args.io_threads)
-        if args.io_threads is not None
-        else None
-    )
+    option_kwargs = {}
+    if args.io_threads is not None:
+        option_kwargs["io_threads"] = args.io_threads
+    if args.executor is not None:
+        option_kwargs["executor"] = args.executor
+    options = TwoStageOptions(**option_kwargs) if option_kwargs else None
     db, report = prepare(args.approach, repository, options=options)
     try:
         print(
@@ -208,6 +239,48 @@ def _run_concurrent_clients(db, sql: str, clients: int) -> int:
     return 0
 
 
+def _command_cache(args: argparse.Namespace) -> int:
+    """Run optional queries, then report per-tier recycler statistics."""
+    import json
+    import os
+
+    from .core.sommelier import SommelierDB
+    from .core.two_stage import TwoStageOptions
+
+    option_kwargs = {}
+    if args.io_threads is not None:
+        option_kwargs["io_threads"] = args.io_threads
+    if args.executor is not None:
+        option_kwargs["executor"] = args.executor
+    options = TwoStageOptions(**option_kwargs) if option_kwargs else None
+
+    checkpoint = (
+        os.path.join(args.workdir, "catalog.json") if args.workdir else None
+    )
+    if checkpoint and os.path.exists(checkpoint):
+        db = SommelierDB.open(args.workdir, options=options)
+    else:
+        repository, _ = build_or_reuse(
+            args.base, args.sf, SCALES[args.scale], args.fiam
+        )
+        db, _ = prepare(
+            "lazy", repository, workdir=args.workdir, options=options
+        )
+    try:
+        for sql in args.sql or ():
+            db.query(sql)
+        stats = db.database.recycler.tier_stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            for tier, counters in stats.items():
+                parts = " ".join(f"{k}={v}" for k, v in counters.items())
+                print(f"[{tier}] {parts}")
+        return 0
+    finally:
+        db.close()
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     import os
 
@@ -229,6 +302,7 @@ def main(argv: list[str] | None = None) -> int:
         "build": _command_build,
         "inspect": _command_inspect,
         "query": _command_query,
+        "cache": _command_cache,
         "bench": _command_bench,
     }
     return handlers[args.command](args)

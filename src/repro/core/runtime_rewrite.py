@@ -106,6 +106,7 @@ def rewrite_actual_scans(
     report: RewriteReport,
     push_selections: bool = True,
     io_threads: int = 1,
+    executor: str = "thread",
 ) -> algebra.LogicalPlan:
     """Replace scans of actual-data tables by per-chunk access paths.
 
@@ -143,6 +144,7 @@ def rewrite_actual_scans(
                 scan.schema,
                 pushed_predicate=predicate,
                 io_threads=io_threads,
+                executor=executor,
             )
         return algebra.Union(
             [make_access(uri, scan, predicate) for uri in uris]
@@ -201,6 +203,7 @@ def make_runtime_optimizer(
     config: SommelierConfig,
     report: RewriteReport,
     io_threads: int = 1,
+    executor: str = "thread",
     push_selections: bool = True,
 ):
     """Build the callback installed into ``CallRuntimeOptimizer``."""
@@ -239,6 +242,7 @@ def make_runtime_optimizer(
                     report,
                     push_selections=push_selections,
                     io_threads=effective_threads,
+                    executor=executor,
                 )
                 new_tail.append(EvalPlan(instruction.var, rewritten))
             else:

@@ -78,6 +78,15 @@ class SommelierSession:
     def explain(self, sql: str) -> str:
         return self.db.explain(sql)
 
+    def cache_stats(self) -> dict:
+        """Per-tier recycler statistics of the shared engine.
+
+        The tiers are shared across sessions (that is the point of the
+        recycler); this is the monitoring hook a server front end polls,
+        and what ``repro cache`` prints.
+        """
+        return self.db.database.recycler.tier_stats()
+
     def _accumulate(
         self, result: "QueryResult", derivation: "DerivationReport"
     ) -> None:

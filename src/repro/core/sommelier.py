@@ -29,20 +29,33 @@ Typical use::
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from dataclasses import dataclass
 
 from ..engine import algebra
 from ..engine.database import Database
+from ..engine.errors import ExecutionError
 from ..engine.sql import bind_sql
 from ..mseed.repository import FileRepository
 from .partial_views import DerivationReport, PartialViewManager
 from .query_types import QueryType, classify_plan
-from .registrar import Registrar, RegistrarReport
+from .registrar import Registrar, RegistrarReport, XseedChunkLoader
 from .schema import SommelierConfig, create_seismology_schema
 from .two_stage import QueryResult, TwoStageCompiler, TwoStageOptions
 
 __all__ = ["SommelierDB"]
+
+# Durable catalog pointers: which chunks exist (loader URI→file-id map) and
+# where the given metadata lives, written atomically under the workdir.
+CATALOG_POINTERS = "catalog.json"
+CATALOG_VERSION = 1
+# Given-metadata tables checkpointed through the paged store.  Derived
+# metadata (H) is deliberately *not* persisted: Algorithm 1 re-derives it
+# on demand — over re-hydrated chunks, so cheaply — which keeps restart
+# correctness independent of the view manager's in-memory bookkeeping.
+DURABLE_TABLES = ("F", "S")
 
 
 @dataclass
@@ -107,6 +120,7 @@ class SommelierDB:
         self._stats_lock = threading.Lock()
         self._derivation_lock = threading.Lock()
         self._session_counter = 0
+        self._closed = False
 
     # -- construction ----------------------------------------------------------
 
@@ -129,6 +143,108 @@ class SommelierDB:
         )
         config = create_seismology_schema(database)
         return cls(database, config, lazy=lazy, options=options)
+
+    @classmethod
+    def open(
+        cls,
+        workdir: str,
+        lazy: bool = True,
+        buffer_pool_bytes: int = 256 * 1024 * 1024,
+        recycler_bytes: int = 1 << 30,
+        recycler_policy: str = "lru",
+        options: TwoStageOptions | None = None,
+    ) -> "SommelierDB":
+        """Reopen a database over a persistent workdir — and come back warm.
+
+        Restores the durable catalog pointers written by :meth:`checkpoint`
+        (the chunk loader's URI→file-id map, the given-metadata tables
+        F and S through the paged store, and the paged residency of any
+        table an eager preparation paged out), while the recycler's disk
+        tier picks up every chunk spilled or flushed by the previous
+        process: the first stage-two after a restart re-hydrates
+        mmap-backed chunks instead of re-decoding Steim payloads.  Pass
+        ``lazy=False`` to reopen an eager database.  Not restored: hash /
+        join indexes (rebuild with ``database.build_*_indexes``) and
+        derived metadata H (re-derived on demand).  A workdir without a
+        checkpoint opens as a fresh (unregistered) database.
+        """
+        db = cls.create(
+            workdir=workdir,
+            lazy=lazy,
+            buffer_pool_bytes=buffer_pool_bytes,
+            recycler_bytes=recycler_bytes,
+            recycler_policy=recycler_policy,
+            options=options,
+        )
+        db._restore_catalog_pointers()
+        return db
+
+    # -- durability ------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Persist catalog pointers and flush the warm tier to disk.
+
+        After a checkpoint, :meth:`open` on the same workdir serves queries
+        without re-registering the repository and without re-decoding any
+        chunk that was warm at checkpoint time.  Runs automatically when a
+        persistent database is closed.
+        """
+        pointers: dict = {"version": CATALOG_VERSION, "tables": []}
+        loader = self.database.chunk_loader
+        if isinstance(loader, XseedChunkLoader):
+            pointers["loader"] = {
+                "io_delay_ms": loader.io_delay_ms,
+                "file_ids": dict(loader._file_ids),
+            }
+        for base in self.database.catalog.tables():
+            if base.paged and self.database.paged_store.has_table(base.name):
+                # Pages are already on disk (page_out wrote them); record
+                # that the reopened catalog must re-adopt them as paged —
+                # this is what makes eager databases restartable.
+                pointers["tables"].append({"name": base.name, "paged": True})
+            elif base.name in DURABLE_TABLES and base.num_rows:
+                self.database.paged_store.store_table(base.name, base.data)
+                pointers["tables"].append({"name": base.name, "paged": False})
+        self.database.recycler.flush_to_store()
+        path = os.path.join(self.database.workdir, CATALOG_POINTERS)
+        staging = path + ".tmp"
+        with open(staging, "w", encoding="utf-8") as handle:
+            json.dump(pointers, handle)
+        os.replace(staging, path)
+
+    def _restore_catalog_pointers(self) -> bool:
+        """Load the checkpoint, if one exists and parses; returns success."""
+        path = os.path.join(self.database.workdir, CATALOG_POINTERS)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                pointers = json.load(handle)
+        except (OSError, ValueError):
+            return False
+        if not isinstance(pointers, dict) or (
+            pointers.get("version") != CATALOG_VERSION
+        ):
+            return False
+        loader_info = pointers.get("loader")
+        if isinstance(loader_info, dict):
+            loader = XseedChunkLoader(
+                io_delay_ms=float(loader_info.get("io_delay_ms", 0.0))
+            )
+            for uri, file_id in loader_info.get("file_ids", {}).items():
+                loader.assign(uri, int(file_id))
+            self.database.set_chunk_loader(loader)
+        for spec in pointers.get("tables", []):
+            name = spec["name"]
+            base = self.database.catalog.table(name)
+            if not self.database.paged_store.restore_schema(name, base.schema):
+                continue
+            if spec.get("paged"):
+                # Disk-resident table (an eager database's D): scans go
+                # back through the buffer pool, as before the restart.
+                base.paged = True
+                base.truncate()
+            else:
+                base.replace(self.database.paged_store.read_table(name))
+        return True
 
     def register_repository(
         self, repository: FileRepository, threads: int = 8
@@ -153,6 +269,8 @@ class SommelierDB:
         self, sql: str
     ) -> tuple[QueryResult, DerivationReport]:
         """Like :meth:`query` but also returns the Algorithm-1 report."""
+        if self._closed:
+            raise ExecutionError("database is closed")
         plan = self.bind(sql)
         # Derivation inserts into H; serialize it so concurrent queries for
         # overlapping windows cannot double-materialize (single-stage
@@ -243,7 +361,21 @@ class SommelierDB:
             self.database, self.config, self.compiler, self.lazy
         )
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Close the engine; persistent databases checkpoint first.
+
+        Idempotent.  After close, :meth:`query` raises — reopen a
+        persistent workdir with :meth:`open`.
+        """
+        if self._closed:
+            return
+        if self.database.persistent:
+            self.checkpoint()
+        self._closed = True
         self.database.close()
 
     def __enter__(self) -> "SommelierDB":

@@ -66,13 +66,28 @@ class TwoStageOptions:
     stage-two pipeline (1 = the serial per-chunk union).  It defaults to
     ``None``, which inherits ``parallel_threads`` — the historical knob
     kept for compatibility with existing callers.
+
+    ``executor`` picks where parallel stage-two decodes run: ``"thread"``
+    (the in-process pool; GIL-bound on CPU-heavy decode) or ``"process"``
+    (a spawn-based worker pool over the shared on-disk chunk store; decode
+    CPU scales with cores).
     """
+
+    EXECUTORS = ("thread", "process")
 
     rules: RuleSet = field(default_factory=RuleSet)
     parallel_threads: int = 4
     io_threads: int | None = None
+    executor: str = "thread"
     push_selections_into_chunks: bool = True
     infer_time_bounds: bool = True
+
+    def __post_init__(self) -> None:
+        if self.executor not in self.EXECUTORS:
+            raise PlanError(
+                f"unknown stage-two executor {self.executor!r}; "
+                f"choose from {self.EXECUTORS}"
+            )
 
     @property
     def effective_io_threads(self) -> int:
@@ -262,6 +277,7 @@ class TwoStageCompiler:
             self.config,
             report,
             io_threads=self.options.effective_io_threads,
+            executor=self.options.executor,
             push_selections=self.options.push_selections_into_chunks,
         )
         program = MalProgram(

@@ -15,6 +15,7 @@ these pieces.
 """
 
 from .catalog import Catalog, ForeignKey, TableKind
+from .chunk_store import ChunkStore, ChunkStoreStats
 from .column import Column, ColumnBuilder
 from .database import Database
 from .errors import (
@@ -42,6 +43,8 @@ __all__ = [
     "BufferPool",
     "Catalog",
     "CatalogError",
+    "ChunkStore",
+    "ChunkStoreStats",
     "Column",
     "ColumnBuilder",
     "Database",

@@ -416,12 +416,17 @@ class ParallelChunkScan(LogicalPlan):
         schema: Schema,
         pushed_predicate: Expression | None = None,
         io_threads: int = 4,
+        executor: str = "thread",
     ) -> None:
         self.uris = tuple(uris)
         self.table_name = table_name
         self.schema = schema
         self.pushed_predicate = pushed_predicate
         self.io_threads = io_threads
+        # "thread" decodes on the shared in-process pool; "process" routes
+        # decodes through the database's spawn-based worker pool over the
+        # shared on-disk chunk store (GIL-free stage two).
+        self.executor = executor
 
     def base_tables(self) -> set[str]:
         return {self.table_name}
@@ -434,5 +439,5 @@ class ParallelChunkScan(LogicalPlan):
         )
         return (
             f"ParallelChunkScan({len(self.uris)} chunks, "
-            f"io_threads={self.io_threads}{suffix})"
+            f"io_threads={self.io_threads}, executor={self.executor}{suffix})"
         )

@@ -1,0 +1,346 @@
+"""Persistent on-disk chunk store: the second tier of the Recycler.
+
+The in-memory Recycler makes just-in-time loading pay off only while the
+process lives — every restart re-decodes every Steim chunk.  Following the
+idea of pushing DBMS caching onto a shared storage tier (Odysseus/DFS) and
+of a BDMS owning its on-disk representation instead of re-parsing external
+files (AsterixDB's managed LSM storage), this module persists *decoded*
+chunks as memory-mappable columnar files:
+
+* one directory per chunk URI (named by a URI digest) holding one ``.npy``
+  file per column plus a small JSON ``manifest.json``;
+* fixed-width columns re-hydrate as zero-copy ``np.memmap`` arrays — a RAM
+  miss becomes a page-cache read instead of a Steim re-decode;
+* the manifest is written *last* and the whole directory is committed with
+  one atomic rename, so a crash mid-spill leaves the store readable: an
+  entry either exists completely or not at all, and partial/corrupt
+  manifests are simply ignored on open.
+
+The store is shared between threads (all index/stat mutations are under a
+mutex) and between *processes*: writers on any process commit atomically,
+and :meth:`get` falls back to a filesystem probe for entries committed by
+another process after this store object scanned the directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import StorageError
+from .table import Field, Schema, Table
+from .types import STRING, type_by_name
+from .column import Column
+
+__all__ = ["ChunkStoreStats", "ChunkStore"]
+
+MANIFEST_NAME = "manifest.json"
+STORE_VERSION = 1
+
+
+@dataclass
+class ChunkStoreStats:
+    """Counters of the disk tier (mirrors :class:`RecyclerStats`)."""
+
+    spills: int = 0
+    rehydrates: int = 0
+    misses: int = 0
+    bytes_spilled: int = 0
+    bytes_rehydrated: int = 0
+    invalid_entries: int = 0
+
+    def reset(self) -> None:
+        self.spills = 0
+        self.rehydrates = 0
+        self.misses = 0
+        self.bytes_spilled = 0
+        self.bytes_rehydrated = 0
+        self.invalid_entries = 0
+
+
+class ChunkStore:
+    """A directory of decoded chunks, keyed by chunk URI.
+
+    Layout::
+
+        root/<digest>/manifest.json   # uri, loading cost, column directory
+        root/<digest>/c<i>.npy        # one array per column
+        root/.tmp-*                   # in-flight writes, never read
+
+    The manifest is the commit point: data files are staged in a ``.tmp-*``
+    directory, the manifest is written there last, and the directory is
+    renamed into place.  Readers only trust directories whose manifest
+    parses and matches the requested URI.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.stats = ChunkStoreStats()
+        os.makedirs(root, exist_ok=True)
+        self._lock = threading.Lock()
+        self._tmp_counter = 0
+        # uri -> (dirname, payload_bytes, loading_cost)
+        self._index: dict[str, tuple[str, int, float]] = {}
+        self._scan()
+
+    # -- keys and layout ---------------------------------------------------
+
+    @staticmethod
+    def _key(uri: str) -> str:
+        return hashlib.sha1(uri.encode("utf-8")).hexdigest()[:20]
+
+    def _entry_dir(self, uri: str) -> str:
+        return os.path.join(self.root, self._key(uri))
+
+    def _scan(self) -> None:
+        """Index every committed entry; ignore temp dirs and broken ones."""
+        for name in sorted(os.listdir(self.root)):
+            path = os.path.join(self.root, name)
+            if name.startswith(".tmp-") or not os.path.isdir(path):
+                continue
+            manifest = self._read_manifest(path)
+            if manifest is None:
+                self.stats.invalid_entries += 1
+                continue
+            payload = sum(int(c.get("nbytes", 0)) for c in manifest["columns"])
+            self._index[manifest["uri"]] = (
+                name, payload, float(manifest.get("loading_cost", 0.0))
+            )
+
+    @staticmethod
+    def _read_manifest(entry_dir: str) -> dict | None:
+        """Parse an entry's manifest; None when absent, partial or corrupt."""
+        path = os.path.join(entry_dir, MANIFEST_NAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("version") != STORE_VERSION
+            or "uri" not in manifest
+            or not isinstance(manifest.get("columns"), list)
+        ):
+            return None
+        return manifest
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, uri: str) -> bool:
+        # Always a manifest-only disk probe (no payload reads): the entry
+        # may have been committed by another process after this store
+        # scanned the directory — or deleted behind our back (a concurrent
+        # ``clear()``), in which case the stale index entry is dropped.
+        manifest = self._read_manifest(self._entry_dir(uri))
+        if manifest is not None and manifest["uri"] == uri:
+            return True
+        with self._lock:
+            self._index.pop(uri, None)
+        return False
+
+    def uris(self) -> set[str]:
+        with self._lock:
+            return set(self._index)
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes of all indexed entries."""
+        with self._lock:
+            return sum(payload for _, payload, _ in self._index.values())
+
+    def loading_cost(self, uri: str) -> float | None:
+        with self._lock:
+            entry = self._index.get(uri)
+            return entry[2] if entry is not None else None
+
+    # -- write path --------------------------------------------------------
+
+    def put(
+        self, uri: str, table: Table, loading_cost: float,
+        table_name: str | None = None,
+    ) -> int:
+        """Persist a decoded chunk; returns payload bytes written.
+
+        The write is atomic: data files and the manifest are staged in a
+        temp directory that is renamed into place as the last step.  A
+        concurrent writer of the same URI wins benignly (content for one
+        URI is identical by the loader-purity contract).
+        """
+        with self._lock:
+            self._tmp_counter += 1
+            staging = os.path.join(
+                self.root, f".tmp-{os.getpid()}-{self._tmp_counter}"
+            )
+        os.makedirs(staging, exist_ok=True)
+        payload = 0
+        try:
+            columns = []
+            for position, (fld, column) in enumerate(
+                zip(table.schema, table.columns)
+            ):
+                filename = f"c{position}.npy"
+                file_path = os.path.join(staging, filename)
+                if fld.dtype is STRING:
+                    np.save(file_path, np.asarray(column.values, dtype=object),
+                            allow_pickle=True)
+                else:
+                    np.save(file_path, np.ascontiguousarray(column.values),
+                            allow_pickle=False)
+                nbytes = os.path.getsize(file_path)
+                payload += nbytes
+                columns.append(
+                    {
+                        "name": fld.name,
+                        "dtype": fld.dtype.name,
+                        "file": filename,
+                        "nbytes": nbytes,
+                    }
+                )
+            manifest = {
+                "version": STORE_VERSION,
+                "uri": uri,
+                "table": table_name,
+                "loading_cost": loading_cost,
+                "num_rows": table.num_rows,
+                "columns": columns,
+            }
+            # The manifest is the commit marker within the staging dir; the
+            # rename below is the commit marker within the store.
+            with open(
+                os.path.join(staging, MANIFEST_NAME), "w", encoding="utf-8"
+            ) as handle:
+                json.dump(manifest, handle)
+            final = self._entry_dir(uri)
+            self._replace_dir(staging, final)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        with self._lock:
+            self._index[uri] = (os.path.basename(final), payload, loading_cost)
+            self.stats.spills += 1
+            self.stats.bytes_spilled += payload
+        return payload
+
+    @staticmethod
+    def _replace_dir(staging: str, final: str) -> None:
+        """Move a staged entry into place, tolerating a concurrent winner."""
+        if os.path.isdir(final):
+            # Replace: move the old entry aside first so the rename target
+            # is free; a crash in between leaves either the old or the new
+            # committed entry, never a torn one.
+            doomed = final + ".old"
+            shutil.rmtree(doomed, ignore_errors=True)
+            try:
+                os.rename(final, doomed)
+            except OSError:
+                pass
+            shutil.rmtree(doomed, ignore_errors=True)
+        try:
+            os.rename(staging, final)
+        except OSError:
+            # Lost the race to a concurrent writer of the same URI: their
+            # committed entry is equivalent; drop ours.
+            if not os.path.isdir(final):
+                raise
+            shutil.rmtree(staging, ignore_errors=True)
+
+    # -- read path ---------------------------------------------------------
+
+    def get(self, uri: str) -> tuple[Table, float] | None:
+        """Re-hydrate one chunk, or None when the store has no valid entry.
+
+        Fixed-width columns come back as zero-copy ``np.memmap`` arrays
+        (``Column.is_mapped``); object (string) columns are materialized.
+        """
+        loaded = self._probe(uri)
+        if loaded is None:
+            with self._lock:
+                self._index.pop(uri, None)  # drop if deleted behind us
+                self.stats.misses += 1
+            return None
+        table, cost, payload = loaded
+        with self._lock:
+            self.stats.rehydrates += 1
+            self.stats.bytes_rehydrated += payload
+        return table, cost
+
+    def _probe(self, uri: str) -> tuple[Table, float, int] | None:
+        """Load an entry without touching hit/miss stats.
+
+        Falls back to a filesystem probe when the in-memory index has no
+        entry — another process (a stage-two decode worker) may have
+        committed it after this store object scanned the directory.
+        """
+        entry_dir = self._entry_dir(uri)
+        manifest = self._read_manifest(entry_dir)
+        if manifest is None or manifest["uri"] != uri:
+            return None
+        fields: list[Field] = []
+        columns: list[Column] = []
+        payload = 0
+        try:
+            for spec in manifest["columns"]:
+                dtype = type_by_name(spec["dtype"])
+                file_path = os.path.join(entry_dir, spec["file"])
+                if dtype is STRING:
+                    values = np.load(file_path, allow_pickle=True)
+                    values = np.asarray(values, dtype=object)
+                else:
+                    values = np.load(file_path, mmap_mode="r")
+                fields.append(Field(spec["name"], dtype))
+                columns.append(Column(dtype, values))
+                payload += int(spec.get("nbytes", 0))
+            table = Table(Schema(fields), columns)
+        except (OSError, ValueError, KeyError, StorageError):
+            with self._lock:
+                self.stats.invalid_entries += 1
+            return None
+        if table.num_rows != int(manifest.get("num_rows", table.num_rows)):
+            with self._lock:
+                self.stats.invalid_entries += 1
+            return None
+        with self._lock:
+            self._index[uri] = (
+                os.path.basename(entry_dir), payload,
+                float(manifest.get("loading_cost", 0.0)),
+            )
+        return table, float(manifest.get("loading_cost", 0.0)), payload
+
+    # -- maintenance -------------------------------------------------------
+
+    def delete(self, uri: str) -> None:
+        with self._lock:
+            self._index.pop(uri, None)
+        shutil.rmtree(self._entry_dir(uri), ignore_errors=True)
+
+    def clear(self) -> None:
+        """Drop every entry (the fully-cold protocol of the experiments)."""
+        with self._lock:
+            self._index.clear()
+        for name in os.listdir(self.root):
+            shutil.rmtree(os.path.join(self.root, name), ignore_errors=True)
+
+    def tier_stats(self) -> dict[str, int]:
+        """JSON-friendly snapshot for ``repro cache`` and the benchmarks."""
+        with self._lock:
+            return {
+                "entries": len(self._index),
+                "bytes_stored": sum(p for _, p, _ in self._index.values()),
+                "spills": self.stats.spills,
+                "rehydrates": self.stats.rehydrates,
+                "misses": self.stats.misses,
+                "bytes_spilled": self.stats.bytes_spilled,
+                "bytes_rehydrated": self.stats.bytes_rehydrated,
+                "invalid_entries": self.stats.invalid_entries,
+            }

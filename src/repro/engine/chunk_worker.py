@@ -1,0 +1,63 @@
+"""Process-pool decode workers for the GIL-free stage two.
+
+CPython's GIL caps the thread-parallel stage-two pipeline at one core of
+decode throughput.  This module is the worker side of the escape hatch:
+each worker process holds a pickled snapshot of the chunk loader and its
+own handle on the shared on-disk :class:`~repro.engine.chunk_store.ChunkStore`.
+A decode task Steim-decodes one chunk, qualifies it exactly like
+:meth:`Database.load_chunk` would, and *commits it to the store* — only the
+tiny ``(uri, rows, seconds)`` receipt crosses the process boundary.  The
+parent then re-hydrates the chunk as zero-copy mmap-backed columns, so the
+decoded samples are shipped through the file system, not through pickle.
+
+Workers are initialized once per process (``ProcessPoolExecutor``'s
+``initializer``); :func:`decode_chunk_to_store` is the only task the parent
+submits.  Everything here must stay importable by a spawn-context child.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .database import qualify_chunk
+from .errors import ExecutionError
+
+__all__ = ["initialize_worker", "worker_ready", "decode_chunk_to_store"]
+
+_LOADER = None
+_STORE = None
+
+
+def initialize_worker(loader, store_root: str) -> None:
+    """Install the loader snapshot and open the shared store (per process)."""
+    global _LOADER, _STORE
+    from .chunk_store import ChunkStore
+
+    _LOADER = loader
+    _STORE = ChunkStore(store_root)
+
+
+def worker_ready(_token: int = 0) -> bool:
+    """No-op task used to force worker spawn (pool warm-up)."""
+    return _LOADER is not None and _STORE is not None
+
+
+def decode_chunk_to_store(uri: str, table_name: str) -> tuple[str, int, float]:
+    """Decode one chunk into the shared store; returns (uri, rows, seconds).
+
+    Skips the decode when a committed entry already exists (another worker
+    or an earlier run got there first) — the store's loader-purity contract
+    makes the existing entry equivalent.
+    """
+    if _LOADER is None or _STORE is None:
+        raise ExecutionError(
+            "decode worker used before initialize_worker ran"
+        )
+    if uri in _STORE:  # manifest probe sees other workers' commits too
+        return uri, 0, 0.0
+    started = time.perf_counter()
+    raw = _LOADER.load(uri, table_name)
+    elapsed = time.perf_counter() - started
+    chunk = qualify_chunk(raw, table_name)
+    _STORE.put(uri, chunk, elapsed, table_name=table_name)
+    return uri, chunk.num_rows, elapsed

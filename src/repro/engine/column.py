@@ -151,13 +151,32 @@ class Column:
         """Approximate memory footprint in bytes.
 
         Object (string) columns estimate per-string payload since NumPy only
-        accounts for the pointer array.
+        accounts for the pointer array.  For mmap-backed columns this is the
+        *mapped* size; see :attr:`resident_nbytes` for the heap footprint.
         """
         if self.dtype is STRING:
             pointer_bytes = self.values.nbytes
             payload = sum(len(v) for v in self.values if isinstance(v, str))
             return pointer_bytes + payload
         return self.values.nbytes
+
+    @property
+    def is_mapped(self) -> bool:
+        """Whether the backing array is a file-backed ``np.memmap``."""
+        return isinstance(self.values, np.memmap)
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Heap bytes this column pins.
+
+        Memory-mapped columns report 0: their pages live in the OS page
+        cache, backed by the chunk-store file, and are reclaimable without
+        evicting the column — budgeted caches must not count them against
+        the in-memory budget (that would double-count spilled chunks).
+        """
+        if self.is_mapped:
+            return 0
+        return self.nbytes
 
     def to_list(self) -> list[Any]:
         """Materialize as a list of Python scalars."""

@@ -19,16 +19,18 @@ hidden ``<T>.#rowid`` column used by join indexes.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import tempfile
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Protocol, Sequence
 
 import numpy as np
 
 from .catalog import Catalog
+from .chunk_store import ChunkStore
 from .column import Column
 from .errors import CatalogError, ExecutionError
 from .indexes import HashIndex, JoinIndex
@@ -37,9 +39,24 @@ from .storage import BufferPool, PagedColumnStore
 from .table import Field, Schema, Table
 from .types import INT64
 
-__all__ = ["ChunkLoader", "Database"]
+__all__ = ["ChunkLoader", "Database", "qualify_chunk"]
 
 ROWID = "#rowid"
+
+
+def qualify_chunk(raw: Table, table_name: str) -> Table:
+    """Turn unqualified chunk rows into the engine's scan-shaped table.
+
+    Column names gain the ``table.`` prefix and a hidden rowid column of -1
+    (chunk rows are synthetic: they have no stable base-table position).
+    Shared by :meth:`Database.load_chunk` and the process-pool decode
+    workers so both produce byte-identical chunk tables.
+    """
+    qualified = raw.with_prefix(table_name)
+    rowids = Column(INT64, np.full(raw.num_rows, -1, dtype=np.int64))
+    fields = list(qualified.schema.fields)
+    fields.append(Field(f"{table_name}.{ROWID}", INT64))
+    return Table(Schema(fields), list(qualified.columns) + [rowids])
 
 
 class ChunkLoader(Protocol):
@@ -70,11 +87,11 @@ class Database:
         recycler_bytes: int = 1 << 30,
         recycler_policy: str = "lru",
         page_rows: int = 8192,
+        spill_chunks: bool = True,
     ) -> None:
         self.name = name
         self.catalog = Catalog()
         self.buffer_pool = BufferPool(buffer_pool_bytes)
-        self.recycler = Recycler(recycler_bytes, policy=recycler_policy)
         if workdir is None:
             self._tempdir = tempfile.TemporaryDirectory(prefix=f"repro-{name}-")
             workdir = self._tempdir.name
@@ -82,6 +99,15 @@ class Database:
             self._tempdir = None
             os.makedirs(workdir, exist_ok=True)
         self.workdir = workdir
+        # The persistent disk tier of the recycler: evicted decoded chunks
+        # spill here as mmap-able columnar files, and a database reopened
+        # over the same workdir comes back warm.
+        self.chunk_store: ChunkStore | None = (
+            ChunkStore(os.path.join(workdir, "chunks")) if spill_chunks else None
+        )
+        self.recycler = Recycler(
+            recycler_bytes, policy=recycler_policy, store=self.chunk_store
+        )
         self.paged_store = PagedColumnStore(
             os.path.join(workdir, "pages"), self.buffer_pool, page_rows
         )
@@ -105,6 +131,14 @@ class Database:
         self._io_executor_workers = 0
         self._retired_io_executors: list[ThreadPoolExecutor] = []
         self._io_executor_lock = threading.Lock()
+        # Process pool for the GIL-free stage two: workers decode chunks
+        # and commit them to the shared chunk store; the parent mmaps them
+        # back.  Created lazily (spawn context), invalidated whenever the
+        # chunk loader changes (workers hold a pickled snapshot of it).
+        self._process_executor: ProcessPoolExecutor | None = None
+        self._process_executor_workers = 0
+        self._retired_process_executors: list[ProcessPoolExecutor] = []
+        self._process_executor_lock = threading.Lock()
         self._load_accounting_lock = threading.Lock()
 
     # -- scanning -----------------------------------------------------------
@@ -184,6 +218,8 @@ class Database:
 
     def set_chunk_loader(self, loader: ChunkLoader) -> None:
         self.chunk_loader = loader
+        # Any live process pool holds a pickled snapshot of the old loader.
+        self.reset_process_executor()
 
     def io_executor(self, threads: int) -> ThreadPoolExecutor:
         """The shared chunk-I/O pool, grown to at least ``threads`` workers.
@@ -205,6 +241,76 @@ class Database:
                 self._io_executor_workers = threads
             return self._io_executor
 
+    def process_executor(self, workers: int) -> ProcessPoolExecutor:
+        """The shared decode process pool, grown to at least ``workers``.
+
+        Workers are initialized with a pickled snapshot of the chunk loader
+        and the chunk-store root (spawn context: safe in threaded parents).
+        They decode chunks and commit them to the store; the parent mmaps
+        the results back, so decoded samples never cross the process
+        boundary by pickling.
+        """
+        if self.chunk_store is None:
+            raise ExecutionError(
+                "process-based stage two requires the chunk store "
+                "(Database(spill_chunks=True))"
+            )
+        if self.chunk_loader is None:
+            raise ExecutionError(
+                "no chunk loader installed; register a repository first"
+            )
+        from . import chunk_worker
+
+        workers = max(1, workers)
+        with self._process_executor_lock:
+            if (
+                self._process_executor is None
+                or self._process_executor_workers < workers
+            ):
+                if self._process_executor is not None:
+                    self._retire_process_executor(self._process_executor)
+                self._process_executor = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                    initializer=chunk_worker.initialize_worker,
+                    initargs=(self.chunk_loader, self.chunk_store.root),
+                )
+                self._process_executor_workers = workers
+            return self._process_executor
+
+    def _retire_process_executor(self, pool: ProcessPoolExecutor) -> None:
+        # Caller holds self._process_executor_lock.  Unlike retired thread
+        # pools, a retired process pool is shut down immediately: in-flight
+        # futures still complete, but idle spawned workers (a whole
+        # interpreter each) exit instead of lingering until close().
+        pool.shutdown(wait=False)
+        self._retired_process_executors.append(pool)
+
+    def reset_process_executor(self) -> None:
+        """Retire the decode pool (the loader snapshot it holds is stale)."""
+        with self._process_executor_lock:
+            if self._process_executor is not None:
+                self._retire_process_executor(self._process_executor)
+                self._process_executor = None
+                self._process_executor_workers = 0
+
+    def warm_process_executor(self, workers: int) -> None:
+        """Spin up ``workers`` decode processes ahead of the first query.
+
+        Spawned workers pay an import cost on first use; steady-state
+        serving (and honest benchmarking of decode speed) wants that paid
+        up front.
+        """
+        from . import chunk_worker
+
+        pool = self.process_executor(workers)
+        list(pool.map(chunk_worker.worker_ready, range(max(1, workers))))
+
+    def account_chunk_seconds(self, seconds: float) -> None:
+        """Fold decode time observed off the main path into the totals."""
+        with self._load_accounting_lock:
+            self.chunk_seconds_total += seconds
+
     def load_chunk(self, uri: str, table_name: str) -> tuple[Table, float]:
         """Extract, transform and qualify one chunk (the chunk-access op).
 
@@ -218,21 +324,14 @@ class Database:
         started = time.perf_counter()
         raw = self.chunk_loader.load(uri, table_name)
         elapsed = time.perf_counter() - started
-        with self._load_accounting_lock:
-            self.chunk_seconds_total += elapsed
+        self.account_chunk_seconds(elapsed)
         base = self.catalog.table(table_name)
         if raw.schema.names != base.schema.names:
             raise ExecutionError(
                 f"chunk loader returned schema {raw.schema.names} for "
                 f"{table_name!r}, expected {base.schema.names}"
             )
-        qualified = raw.with_prefix(table_name)
-        rowids = Column(INT64, np.full(raw.num_rows, -1, dtype=np.int64))
-        chunk = Table(
-            self.qualified_schema(table_name),
-            list(qualified.columns) + [rowids],
-        )
-        return chunk, elapsed
+        return qualify_chunk(raw, table_name), elapsed
 
     def load_chunk_range(
         self, uri: str, table_name: str, start_ms: int | None,
@@ -249,15 +348,8 @@ class Database:
         started = time.perf_counter()
         raw = loader.load_range(uri, table_name, start_ms, end_ms)
         elapsed = time.perf_counter() - started
-        with self._load_accounting_lock:
-            self.chunk_seconds_total += elapsed
-        qualified = raw.with_prefix(table_name)
-        rowids = Column(INT64, np.full(raw.num_rows, -1, dtype=np.int64))
-        chunk = Table(
-            self.qualified_schema(table_name),
-            list(qualified.columns) + [rowids],
-        )
-        return chunk, elapsed
+        self.account_chunk_seconds(elapsed)
+        return qualify_chunk(raw, table_name), elapsed
 
     # -- indexes -------------------------------------------------------------------
 
@@ -354,7 +446,36 @@ class Database:
             if t.kind.is_red
         )
 
+    def cache_accounting(self) -> dict[str, int]:
+        """Where cached bytes live: heap vs mmap vs disk, per component.
+
+        ``recycler_resident`` is what the recycler budget charges;
+        ``recycler_mapped`` is mmap-backed volume whose pages belong to the
+        chunk-store files (counted once, under ``chunk_store``, on disk).
+        """
+        return {
+            "buffer_pool": self.buffer_pool.bytes_cached,
+            "recycler_resident": self.recycler.bytes_cached,
+            "recycler_mapped": self.recycler.bytes_mapped,
+            "chunk_store": (
+                self.chunk_store.nbytes if self.chunk_store is not None else 0
+            ),
+        }
+
+    @property
+    def persistent(self) -> bool:
+        """Whether the workdir outlives this object (caller-provided)."""
+        return self._tempdir is None
+
     def close(self) -> None:
+        with self._process_executor_lock:
+            for retired in self._retired_process_executors:
+                retired.shutdown(wait=False)
+            self._retired_process_executors.clear()
+            if self._process_executor is not None:
+                self._process_executor.shutdown(wait=True)
+                self._process_executor = None
+                self._process_executor_workers = 0
         with self._io_executor_lock:
             for retired in self._retired_io_executors:
                 retired.shutdown(wait=False)

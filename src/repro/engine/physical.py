@@ -48,6 +48,7 @@ class ExecStats:
     rows_scanned: int = 0
     chunks_loaded: int = 0
     chunks_from_cache: int = 0
+    chunks_rehydrated: int = 0
     chunk_rows_loaded: int = 0
     chunk_load_seconds: float = 0.0
     joins_executed: int = 0
@@ -58,6 +59,7 @@ class ExecStats:
         self.rows_scanned = 0
         self.chunks_loaded = 0
         self.chunks_from_cache = 0
+        self.chunks_rehydrated = 0
         self.chunk_rows_loaded = 0
         self.chunk_load_seconds = 0.0
         self.joins_executed = 0
@@ -68,6 +70,7 @@ class ExecStats:
         self.rows_scanned += other.rows_scanned
         self.chunks_loaded += other.chunks_loaded
         self.chunks_from_cache += other.chunks_from_cache
+        self.chunks_rehydrated += other.chunks_rehydrated
         self.chunk_rows_loaded += other.chunk_rows_loaded
         self.chunk_load_seconds += other.chunk_load_seconds
         self.joins_executed += other.joins_executed
@@ -169,6 +172,8 @@ def _record_chunk_outcome(
         ctx.stats.chunks_loaded += 1
         ctx.stats.chunk_rows_loaded += chunk.num_rows
         ctx.stats.chunk_load_seconds += cost_seconds
+    elif outcome == "rehydrated":  # mmap re-hydrate from the disk tier
+        ctx.stats.chunks_rehydrated += 1
     else:  # "hit" or "coalesced": another query (or this one) paid the cost
         ctx.stats.chunks_from_cache += 1
 
@@ -198,15 +203,50 @@ def _execute_parallel_chunk_scan(
     completes it is aligned and filtered on the query thread while the
     remaining decodes keep running — decode overlaps evaluation.  The final
     concatenation preserves URI order so results match serial execution.
+
+    With ``plan.executor == "process"`` the actual Steim decode happens in
+    the database's spawn-based worker pool: a worker commits the decoded
+    chunk to the shared on-disk chunk store and the parent mmaps it back.
+    The I/O threads then only wait on worker receipts and re-hydrate, so
+    decode CPU scales past the GIL.  Warm chunks never reach the workers:
+    the recycler's single-flight slot serves memory hits and disk-tier
+    re-hydrates first, exactly as in thread mode.
     """
     if not plan.uris:
         return Table.empty(plan.schema)
     database = ctx.database
 
+    use_processes = (
+        plan.executor == "process"
+        and plan.io_threads > 1
+        and len(plan.uris) > 1
+    )
+    if use_processes:
+        from . import chunk_worker
+
+        process_pool = database.process_executor(plan.io_threads)
+        store = database.chunk_store
+
+        def load_one(uri: str) -> tuple[Table, float]:
+            receipt = process_pool.submit(
+                chunk_worker.decode_chunk_to_store, uri, plan.table_name
+            )
+            _, _, cost = receipt.result()
+            database.account_chunk_seconds(cost)
+            rehydrated = store.get(uri)
+            if rehydrated is None:
+                raise ExecutionError(
+                    f"decode worker reported {uri!r} done but the chunk "
+                    "store has no committed entry"
+                )
+            return rehydrated[0], cost
+    else:
+
+        def load_one(uri: str) -> tuple[Table, float]:
+            return database.load_chunk(uri, plan.table_name)
+
     def decode(uri: str) -> tuple[Table, str, float]:
-        return database.recycler.get_or_load(
-            uri, lambda u: database.load_chunk(u, plan.table_name)
-        )
+        return database.recycler.get_or_load(uri, load_one)
 
     pieces: list[Table | None] = [None] * len(plan.uris)
 

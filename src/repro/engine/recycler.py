@@ -1,4 +1,4 @@
-"""The Recycler: a budgeted, thread-safe cache for lazily loaded chunks.
+"""The Recycler: a tiered, budgeted, thread-safe cache for loaded chunks.
 
 The paper reuses MonetDB's Recycler [Ivanova et al., SIGMOD'09] to cache the
 actual data ingested by ``chunk-access`` operators so that subsequent queries
@@ -14,6 +14,16 @@ This module implements that component with two replacement policies:
 Entries are keyed by chunk URI and hold the decoded :class:`Table` for that
 chunk, plus the observed loading cost used by the cost-aware policy.
 
+Tiering (the persistent-recycler work): the in-memory budgeted tier is
+optionally backed by a :class:`~repro.engine.chunk_store.ChunkStore`.
+Eviction *spills* the decoded chunk to the store instead of discarding it;
+a later miss in RAM *re-hydrates* the chunk from the store as zero-copy
+mmap-backed columns — far cheaper than a Steim re-decode — and a database
+reopened over the same directory comes back warm.  Byte accounting is
+two-dimensional: ``bytes_cached`` counts only heap-resident bytes against
+the budget, while ``bytes_mapped`` reports the mmap-backed volume whose
+pages are owned by the store files (never double-counted).
+
 Concurrency model (the concurrent-serving work):
 
 * every entry/stats/byte-accounting mutation happens under one internal
@@ -21,8 +31,11 @@ Concurrency model (the concurrent-serving work):
   matter how many threads hammer the cache;
 * chunk *loading* is coordinated by lock-striped single-flight slots:
   concurrent :meth:`get_or_load` calls for the same URI wait on the one
-  thread that is decoding it (each chunk is decoded exactly once), while
-  loads of different URIs proceed fully in parallel.
+  thread that is decoding (or re-hydrating) it — each chunk is decoded
+  exactly once across both tiers — while loads of different URIs proceed
+  fully in parallel;
+* spills run outside the entry mutex (disk writes never stall the cache),
+  after the victim has already left the memory tier.
 """
 
 from __future__ import annotations
@@ -30,10 +43,13 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from .errors import StorageError
 from .table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .chunk_store import ChunkStore
 
 __all__ = ["RecyclerEntry", "RecyclerStats", "Recycler"]
 
@@ -44,14 +60,24 @@ STRIPE_COUNT = 16
 
 @dataclass
 class RecyclerEntry:
-    """One cached chunk."""
+    """One cached chunk.
+
+    ``nbytes`` is the logical (decoded) size; ``resident_nbytes`` is the
+    heap share of it — 0 for a fully mmap-backed re-hydrated chunk, whose
+    pages belong to the chunk-store file.
+    """
 
     uri: str
     table: Table
     loading_cost: float
     nbytes: int
+    resident_nbytes: int = -1
     access_count: int = 1
     last_access: float = field(default_factory=time.monotonic)
+
+    def __post_init__(self) -> None:
+        if self.resident_nbytes < 0:
+            self.resident_nbytes = self.nbytes
 
     def score(self) -> float:
         """Cost-aware benefit density: cheap-to-keep, expensive-to-reload wins."""
@@ -64,7 +90,9 @@ class RecyclerStats:
 
     ``coalesced`` counts :meth:`Recycler.get_or_load` calls that piggybacked
     on another thread's in-flight load of the same URI instead of decoding
-    the chunk themselves.
+    the chunk themselves.  ``rehydrates`` counts owner loads satisfied from
+    the disk tier (mmap re-hydrate) instead of the loader; ``spills`` counts
+    evicted entries persisted to the disk tier.
     """
 
     hits: int = 0
@@ -73,6 +101,10 @@ class RecyclerStats:
     evictions: int = 0
     bytes_evicted: int = 0
     coalesced: int = 0
+    rehydrates: int = 0
+    spills: int = 0
+    bytes_spilled: int = 0
+    spill_errors: int = 0
 
     def reset(self) -> None:
         self.hits = 0
@@ -81,6 +113,10 @@ class RecyclerStats:
         self.evictions = 0
         self.bytes_evicted = 0
         self.coalesced = 0
+        self.rehydrates = 0
+        self.spills = 0
+        self.bytes_spilled = 0
+        self.spill_errors = 0
 
 
 class _InflightLoad:
@@ -100,7 +136,9 @@ class Recycler:
 
     The budget mirrors the paper's workload experiments, which "limit the
     size of the recycler cache holding the lazily loaded files to the size
-    of main memory" (Section VI-E).
+    of main memory" (Section VI-E).  Only heap-resident bytes count against
+    it; mmap-backed re-hydrated chunks ride for free (their pages are the
+    store's).
 
     All public methods are safe to call from multiple threads.
     """
@@ -108,7 +146,11 @@ class Recycler:
     POLICIES = ("lru", "cost_aware")
 
     def __init__(
-        self, budget_bytes: int = 1 << 30, policy: str = "lru"
+        self,
+        budget_bytes: int = 1 << 30,
+        policy: str = "lru",
+        store: "ChunkStore | None" = None,
+        spill_on_evict: bool = True,
     ) -> None:
         if budget_bytes <= 0:
             raise StorageError("recycler budget must be positive")
@@ -118,9 +160,17 @@ class Recycler:
             )
         self.budget_bytes = budget_bytes
         self.policy = policy
+        self.store = store
+        self.spill_on_evict = spill_on_evict
         self.stats = RecyclerStats()
         self._entries: dict[str, RecyclerEntry] = {}
         self._bytes_cached = 0
+        self._bytes_mapped = 0
+        # Spill-vs-invalidate coordination: URIs whose spill is pending or
+        # in progress, and those invalidated while it was.  A chunk that is
+        # invalidated mid-spill must not be resurrected by the spill.
+        self._spilling: set[str] = set()
+        self._spill_invalidated: set[str] = set()
         # One mutex guards entries + stats + byte accounting (exactness);
         # striped locks guard only the single-flight load coordination, so
         # waiting on one URI's decode never blocks another URI's.
@@ -138,8 +188,15 @@ class Recycler:
 
     @property
     def bytes_cached(self) -> int:
+        """Heap-resident bytes charged against the budget."""
         with self._lock:
             return self._bytes_cached
+
+    @property
+    def bytes_mapped(self) -> int:
+        """Mmap-backed bytes of re-hydrated entries (owned by the store)."""
+        with self._lock:
+            return self._bytes_mapped
 
     def __len__(self) -> int:
         with self._lock:
@@ -150,7 +207,11 @@ class Recycler:
             return uri in self._entries
 
     def cached_uris(self) -> set[str]:
-        """The set C of cached chunks used by rewrite rule (1)."""
+        """The set C of cached chunks used by rewrite rule (1).
+
+        Memory tier only: the rewrite plans a cheap ``cache-scan`` for these;
+        disk-tier entries are re-hydrated inside ``chunk-access`` instead.
+        """
         with self._lock:
             return set(self._entries)
 
@@ -159,10 +220,36 @@ class Recycler:
         with self._lock:
             return list(self._entries.values())
 
+    def tier_stats(self) -> dict[str, dict[str, int]]:
+        """Per-tier counters for ``repro cache`` and the benchmarks."""
+        with self._lock:
+            memory = {
+                "entries": len(self._entries),
+                "budget_bytes": self.budget_bytes,
+                "bytes_resident": self._bytes_cached,
+                "bytes_mapped": self._bytes_mapped,
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "coalesced": self.stats.coalesced,
+                "insertions": self.stats.insertions,
+                "evictions": self.stats.evictions,
+                "bytes_evicted": self.stats.bytes_evicted,
+                "rehydrates": self.stats.rehydrates,
+                "spills": self.stats.spills,
+                "bytes_spilled": self.stats.bytes_spilled,
+                "spill_errors": self.stats.spill_errors,
+            }
+        if self.store is None:
+            disk: dict[str, int] = {"enabled": 0}
+        else:
+            disk = {"enabled": 1}
+            disk.update(self.store.tier_stats())
+        return {"memory": memory, "disk": disk}
+
     # -- cache protocol ------------------------------------------------------
 
     def get(self, uri: str) -> Table | None:
-        """Cache-scan: the chunk's table, or None on a miss."""
+        """Cache-scan: the chunk's table, or None on a memory-tier miss."""
         with self._lock:
             entry = self._entries.get(uri)
             if entry is None:
@@ -177,8 +264,8 @@ class Recycler:
         """Like :meth:`get` but records only hits, never a miss.
 
         Used by :meth:`get_or_load`, whose lookups are provisional: each
-        call contributes exactly one of hit / miss / coalesced to the
-        stats, decided only once the outcome is known.
+        call contributes exactly one of hit / rehydrated / miss / coalesced
+        to the stats, decided only once the outcome is known.
         """
         with self._lock:
             entry = self._entries.get(uri)
@@ -192,42 +279,53 @@ class Recycler:
     def put(self, uri: str, table: Table, loading_cost: float) -> bool:
         """Admit a freshly loaded chunk; returns False if it cannot fit.
 
-        A chunk larger than the whole budget is never admitted (it would
-        evict everything for a single-use entry).
+        A chunk whose *resident* size exceeds the whole budget is never
+        admitted (it would evict everything for a single-use entry); fully
+        mmap-backed chunks are resident-free and always admissible.  Evicted
+        victims are spilled to the disk tier after the entry mutex is
+        released.
         """
         nbytes = table.nbytes
-        if nbytes > self.budget_bytes:
+        resident = table.resident_nbytes
+        if resident > self.budget_bytes:
             return False
+        victims: list[RecyclerEntry] = []
         with self._lock:
             existing = self._entries.pop(uri, None)
             if existing is not None:
-                self._bytes_cached -= existing.nbytes
-            self._evict_until_fits(nbytes)
+                self._bytes_cached -= existing.resident_nbytes
+                self._bytes_mapped -= existing.nbytes - existing.resident_nbytes
+            self._evict_until_fits(resident, victims)
             self._entries[uri] = RecyclerEntry(
-                uri=uri, table=table, loading_cost=loading_cost, nbytes=nbytes
+                uri=uri, table=table, loading_cost=loading_cost,
+                nbytes=nbytes, resident_nbytes=resident,
             )
-            self._bytes_cached += nbytes
+            self._bytes_cached += resident
+            self._bytes_mapped += nbytes - resident
             self.stats.insertions += 1
+        self._spill_entries(victims)
         return True
 
     def get_or_load(
         self, uri: str, loader: Callable[[str], tuple[Table, float]]
     ) -> tuple[Table, str, float]:
-        """The single-flight chunk-access path.
+        """The single-flight chunk-access path across both tiers.
 
         Returns ``(table, outcome, loading_cost)`` with outcome one of:
 
-        * ``"hit"`` — the chunk was already cached;
+        * ``"hit"`` — the chunk was in the memory tier;
+        * ``"rehydrated"`` — the chunk was mmap-re-hydrated from the disk
+          tier (and re-admitted to the memory tier, resident-free);
         * ``"loaded"`` — this call decoded the chunk (and admitted it);
-        * ``"coalesced"`` — another thread was already decoding the same
-          URI; this call waited for that result instead of loading twice.
+        * ``"coalesced"`` — another thread was already decoding or
+          re-hydrating the same URI; this call waited for that result.
 
         ``loader(uri)`` must return ``(table, seconds)``; it runs outside
         every recycler lock so independent loads overlap freely.  A loader
         failure is propagated to the owner and every coalesced waiter.
 
-        Each call counts exactly one of hit / miss / coalesced in the
-        stats, so the ratios stay exact under contention.
+        Each call counts exactly one of hit / rehydrated / miss / coalesced
+        in the stats, so the ratios stay exact under contention.
         """
         cached = self._peek(uri)
         if cached is not None:
@@ -247,8 +345,6 @@ class Recycler:
                     return cached, "hit", 0.0
                 flight = _InflightLoad()
                 inflight[uri] = flight
-                with self._lock:
-                    self.stats.misses += 1
                 is_owner = True
             else:
                 is_owner = False
@@ -264,11 +360,24 @@ class Recycler:
             return flight.table, "coalesced", flight.cost
 
         try:
-            table, cost = loader(uri)
+            # Disk tier first: a spilled or restart-surviving chunk is a
+            # cheap mmap re-hydrate, not a re-decode.  The probe runs inside
+            # the flight, so concurrent callers coalesce on it too.
+            stored = self.store.get(uri) if self.store is not None else None
+            if stored is not None:
+                table, cost = stored
+                with self._lock:
+                    self.stats.rehydrates += 1
+                outcome = "rehydrated"
+            else:
+                with self._lock:
+                    self.stats.misses += 1
+                table, cost = loader(uri)
+                outcome = "loaded"
             flight.table = table
             flight.cost = cost
             self.put(uri, table, cost)
-            return table, "loaded", cost
+            return table, outcome, cost
         except BaseException as exc:
             flight.error = exc
             raise
@@ -278,28 +387,120 @@ class Recycler:
             flight.event.set()
 
     def invalidate(self, uri: str) -> None:
+        """Drop a chunk from both tiers (its source data changed)."""
         with self._lock:
             entry = self._entries.pop(uri, None)
             if entry is not None:
-                self._bytes_cached -= entry.nbytes
+                self._bytes_cached -= entry.resident_nbytes
+                self._bytes_mapped -= entry.nbytes - entry.resident_nbytes
+            if uri in self._spilling:
+                # An evicted copy is being written to the store right now;
+                # flag it so the spiller deletes its own write.
+                self._spill_invalidated.add(uri)
+        if self.store is not None:
+            self.store.delete(uri)
 
-    def clear(self) -> None:
+    def clear(self, spilled: bool = True) -> None:
+        """Drop the memory tier; with ``spilled`` also the disk tier.
+
+        ``clear()`` is the experiments' fully-cold protocol ("restart the
+        server, flush buffers"); ``clear(spilled=False)`` models a process
+        restart over a surviving store directory.
+        """
         with self._lock:
             self._entries.clear()
             self._bytes_cached = 0
+            self._bytes_mapped = 0
+        if spilled and self.store is not None:
+            self.store.clear()
+
+    def flush_to_store(self) -> int:
+        """Persist every memory-tier entry not yet on disk; returns count.
+
+        Called by the checkpoint path so a cleanly closed database comes
+        back warm even for chunks that were never evicted.
+        """
+        if self.store is None:
+            return 0
+        flushed = 0
+        for entry in self.entries():
+            if entry.uri not in self.store:
+                self._spill_one(entry)
+                flushed += 1
+        return flushed
 
     # -- replacement ---------------------------------------------------------
 
-    def _evict_until_fits(self, incoming: int) -> None:
-        # Caller holds self._lock.
+    def _evict_until_fits(
+        self, incoming: int, victims: list[RecyclerEntry]
+    ) -> None:
+        # Caller holds self._lock.  Only resident entries are candidates:
+        # evicting an mmap-backed entry frees no heap bytes.
         while self._entries and self._bytes_cached + incoming > self.budget_bytes:
             victim = self._choose_victim()
+            if victim is None:
+                break
             entry = self._entries.pop(victim)
-            self._bytes_cached -= entry.nbytes
+            self._bytes_cached -= entry.resident_nbytes
+            self._bytes_mapped -= entry.nbytes - entry.resident_nbytes
             self.stats.evictions += 1
             self.stats.bytes_evicted += entry.nbytes
+            # Marked before the lock is released so an invalidate() racing
+            # the upcoming (unlocked) spill can flag it as doomed.
+            self._spilling.add(entry.uri)
+            victims.append(entry)
 
-    def _choose_victim(self) -> str:
+    def _choose_victim(self) -> str | None:
+        candidates = [
+            e for e in self._entries.values() if e.resident_nbytes > 0
+        ]
+        if not candidates:
+            return None
         if self.policy == "lru":
-            return min(self._entries.values(), key=lambda e: e.last_access).uri
-        return min(self._entries.values(), key=lambda e: e.score()).uri
+            return min(candidates, key=lambda e: e.last_access).uri
+        return min(candidates, key=lambda e: e.score()).uri
+
+    # -- spilling ------------------------------------------------------------
+
+    def _spill_entries(self, victims: list[RecyclerEntry]) -> None:
+        if self.store is None or not self.spill_on_evict:
+            if victims:
+                with self._lock:
+                    for entry in victims:
+                        self._spilling.discard(entry.uri)
+                        self._spill_invalidated.discard(entry.uri)
+            return
+        for entry in victims:
+            self._spill_one(entry)
+
+    def _spill_one(self, entry: RecyclerEntry) -> None:
+        assert self.store is not None
+        uri = entry.uri
+        with self._lock:
+            self._spilling.add(uri)  # idempotent (evictions pre-marked)
+        written = 0
+        failed = False
+        try:
+            if uri not in self.store:
+                try:
+                    written = self.store.put(
+                        uri, entry.table, entry.loading_cost
+                    )
+                except (OSError, StorageError):
+                    # A failed spill only loses a cache opportunity, never
+                    # data: the chunk is still decodable from the
+                    # repository.
+                    failed = True
+        finally:
+            with self._lock:
+                self._spilling.discard(uri)
+                doomed = uri in self._spill_invalidated
+                self._spill_invalidated.discard(uri)
+                if failed:
+                    self.stats.spill_errors += 1
+                elif written:
+                    self.stats.spills += 1
+                    self.stats.bytes_spilled += written
+        if doomed:
+            # Invalidated while we were writing: never resurrect it.
+            self.store.delete(uri)

@@ -28,9 +28,9 @@ from typing import Iterable
 import numpy as np
 
 from .column import Column
-from .errors import StorageError
+from .errors import StorageError, TypeMismatchError
 from .table import Schema, Table
-from .types import STRING, DataType
+from .types import STRING, DataType, type_by_name
 
 __all__ = ["PageId", "BufferPool", "PagedColumnStore", "PoolStats"]
 
@@ -181,6 +181,7 @@ class PagedColumnStore:
         # (table, column) -> (dtype, [(offset, length, rows)], total_rows)
         self._directory: dict[tuple[str, str], tuple[DataType, list, int]] = {}
         self._schemas: dict[str, Schema] = {}
+        self._load_directory()
 
     # -- write path ----------------------------------------------------------
 
@@ -215,6 +216,23 @@ class PagedColumnStore:
 
     def has_table(self, name: str) -> bool:
         return name in self._schemas
+
+    def restore_schema(self, name: str, schema: Schema) -> bool:
+        """Adopt a table persisted by an earlier process.
+
+        The ``.idx`` sidecars record per-column layout but not column
+        *order*; the caller (catalog restore) supplies the schema.  Returns
+        True when every schema column is present on disk — the table then
+        becomes readable via :meth:`read_table` — and False otherwise.
+        """
+        if all(
+            (name, field.name) in self._directory
+            and self._directory[(name, field.name)][0] is field.dtype
+            for field in schema
+        ) and len(schema):
+            self._schemas[name] = schema
+            return True
+        return False
 
     def schema(self, name: str) -> Schema:
         try:
@@ -339,3 +357,45 @@ class PagedColumnStore:
             handle.write(struct.pack("<QI", total_rows, len(pages)))
             for offset, length, rows in pages:
                 handle.write(struct.pack("<QII", offset, length, rows))
+
+    def _load_directory(self) -> None:
+        """Rebuild the page directory from ``.idx`` sidecars on open.
+
+        Tables found this way stay invisible to :meth:`has_table` until a
+        catalog restore adopts them via :meth:`restore_schema` (the sidecar
+        records column layout, not table schema order).  Unreadable sidecars
+        are skipped — the store stays usable after a torn write.
+        """
+        if not os.path.isdir(self.root):
+            return
+        for table in sorted(os.listdir(self.root)):
+            table_dir = os.path.join(self.root, table)
+            if not os.path.isdir(table_dir):
+                continue
+            for filename in sorted(os.listdir(table_dir)):
+                if not filename.endswith(".idx"):
+                    continue
+                try:
+                    entry = self._read_index(os.path.join(table_dir, filename))
+                except (OSError, StorageError, TypeMismatchError,
+                        struct.error, ValueError):
+                    continue
+                column_name, dtype, pages, total_rows = entry
+                self._directory[(table, column_name)] = (
+                    dtype, pages, total_rows
+                )
+
+    def _read_index(
+        self, path: str
+    ) -> tuple[str, DataType, list[tuple[int, int, int]], int]:
+        with open(path, "rb") as handle:
+            if handle.read(len(self.MAGIC)) != self.MAGIC:
+                raise StorageError(f"bad index magic in {path}")
+            name_len, dtype_len = struct.unpack("<HH", handle.read(4))
+            column_name = handle.read(name_len).decode("utf-8")
+            dtype = type_by_name(handle.read(dtype_len).decode("ascii"))
+            total_rows, num_pages = struct.unpack("<QI", handle.read(12))
+            pages: list[tuple[int, int, int]] = []
+            for _ in range(num_pages):
+                pages.append(struct.unpack("<QII", handle.read(16)))
+        return column_name, dtype, pages, total_rows

@@ -167,6 +167,11 @@ class Table:
     def nbytes(self) -> int:
         return sum(c.nbytes for c in self.columns)
 
+    @property
+    def resident_nbytes(self) -> int:
+        """Heap bytes (mmap-backed columns count 0, see Column)."""
+        return sum(c.resident_nbytes for c in self.columns)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Table({self.schema!r}, rows={self.num_rows})"
 

@@ -67,6 +67,58 @@ class TestCommands:
         assert "'s': 'ARCI'" in out
         assert "0 chunk(s) loaded" in out
 
+    def test_cache_text_and_json(self, tmp_path, capsys):
+        import json
+
+        base = str(tmp_path / "data")
+        main(["build", "--base", base, "--sf", "1"])
+        capsys.readouterr()
+        sql = (
+            "SELECT COUNT(*) AS n FROM dataview WHERE F.station = 'ISK' "
+            "AND F.channel = 'BHE'"
+        )
+        assert main(["cache", "--base", base, "--sf", "1", "--sql", sql]) == 0
+        out = capsys.readouterr().out
+        assert "[memory]" in out and "[disk]" in out
+        assert "insertions=2" in out
+
+        code = main(
+            ["cache", "--base", base, "--sf", "1", "--sql", sql, "--json"]
+        )
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["memory"]["insertions"] == 2
+        assert stats["disk"]["enabled"] == 1
+
+    def test_cache_reopens_persistent_workdir_warm(self, tmp_path, capsys):
+        import json
+
+        base = str(tmp_path / "data")
+        workdir = str(tmp_path / "db")
+        main(["build", "--base", base, "--sf", "1"])
+        capsys.readouterr()
+        sql = (
+            "SELECT COUNT(*) AS n FROM dataview WHERE F.station = 'ISK' "
+            "AND F.channel = 'BHE'"
+        )
+        first = main(
+            ["cache", "--base", base, "--sf", "1", "--sql", sql,
+             "--workdir", workdir, "--json"]
+        )
+        assert first == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["memory"]["misses"] == 2  # cold: both chunks decoded
+
+        again = main(
+            ["cache", "--base", base, "--sf", "1", "--sql", sql,
+             "--workdir", workdir, "--json"]
+        )
+        assert again == 0
+        stats = json.loads(capsys.readouterr().out)
+        # Reopened warm: the store tier served every chunk.
+        assert stats["memory"]["rehydrates"] == 2
+        assert stats["memory"]["misses"] == 0
+
     def test_query_explain(self, tmp_path, capsys):
         base = str(tmp_path / "data")
         main(["build", "--base", base, "--sf", "1"])

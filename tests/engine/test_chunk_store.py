@@ -1,0 +1,210 @@
+"""ChunkStore: round-trip fidelity, atomic commits, crash safety."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine.chunk_store import MANIFEST_NAME, ChunkStore
+from repro.engine.column import Column
+from repro.engine.table import Schema, Table
+from repro.engine.types import INT64, STRING, TIMESTAMP
+from repro.mseed import steim
+
+
+def make_table(values: np.ndarray, times: np.ndarray) -> Table:
+    schema = Schema.of(("D.sample_time", TIMESTAMP), ("D.sample_value", INT64))
+    return Table(
+        schema,
+        [
+            Column(TIMESTAMP, np.asarray(times, dtype=np.int64)),
+            Column(INT64, np.asarray(values, dtype=np.int64)),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_steim_encode_decode_store_mmap_property(self, tmp_path):
+        """Property test over random signals: the full pipeline is lossless.
+
+        steim encode → decode → store.put → store.get (mmap) must preserve
+        every sample for smooth, noisy, constant and extreme-valued
+        signals.
+        """
+        store = ChunkStore(str(tmp_path / "chunks"))
+        rng = np.random.default_rng(20150413)
+        for trial in range(12):
+            n = int(rng.integers(1, 2000))
+            kind = trial % 4
+            if kind == 0:  # smooth random walk (the seismic-like case)
+                samples = np.cumsum(rng.integers(-4, 5, n)).astype(np.int64)
+            elif kind == 1:  # white noise with large amplitude
+                samples = rng.integers(-(2**31), 2**31, n).astype(np.int64)
+            elif kind == 2:  # constant
+                samples = np.full(n, int(rng.integers(-100, 100)), np.int64)
+            else:  # alternating extremes (worst-case deltas)
+                samples = np.where(
+                    np.arange(n) % 2 == 0, 2**30, -(2**30)
+                ).astype(np.int64)
+
+            decoded = steim.decode(steim.encode(samples))
+            assert np.array_equal(decoded, samples)
+
+            times = np.arange(n, dtype=np.int64) * 25
+            uri = f"trial-{trial}"
+            store.put(uri, make_table(decoded, times), loading_cost=0.01)
+            loaded = store.get(uri)
+            assert loaded is not None
+            table, cost = loaded
+            assert cost == pytest.approx(0.01)
+            assert np.array_equal(
+                table.column("D.sample_value").values, samples
+            )
+            assert np.array_equal(table.column("D.sample_time").values, times)
+            # Fixed-width columns come back zero-copy mmap-backed.
+            assert all(c.is_mapped for c in table.columns)
+            assert table.resident_nbytes == 0
+            assert table.nbytes > 0
+
+    def test_string_columns_round_trip_without_mmap(self, tmp_path):
+        store = ChunkStore(str(tmp_path))
+        schema = Schema.of(("F.station", STRING), ("F.file_id", INT64))
+        table = Table(
+            schema,
+            [
+                Column.from_values(STRING, ["ISK", "FIAM", "ARCI"]),
+                Column(INT64, np.arange(3, dtype=np.int64)),
+            ],
+        )
+        store.put("strings", table, 0.5)
+        loaded, _ = store.get("strings")
+        assert loaded.column("F.station").to_list() == ["ISK", "FIAM", "ARCI"]
+        assert not loaded.column("F.station").is_mapped
+        assert loaded.column("F.file_id").is_mapped
+
+    def test_overwrite_replaces_entry(self, tmp_path):
+        store = ChunkStore(str(tmp_path))
+        first = make_table(np.arange(4), np.arange(4))
+        second = make_table(np.arange(8), np.arange(8))
+        store.put("u", first, 0.1)
+        store.put("u", second, 0.2)
+        table, cost = store.get("u")
+        assert table.num_rows == 8
+        assert cost == pytest.approx(0.2)
+        assert len(store) == 1
+
+    def test_survives_reopen(self, tmp_path):
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        store.put("persist-me", make_table(np.arange(16), np.arange(16)), 0.3)
+        del store
+
+        reopened = ChunkStore(root)
+        assert "persist-me" in reopened
+        assert reopened.uris() == {"persist-me"}
+        table, cost = reopened.get("persist-me")
+        assert table.num_rows == 16
+        assert cost == pytest.approx(0.3)
+
+    def test_cross_object_visibility(self, tmp_path):
+        """A commit by one store object is visible to another (process model)."""
+        root = str(tmp_path)
+        reader = ChunkStore(root)  # scans an empty dir
+        writer = ChunkStore(root)
+        writer.put("late", make_table(np.arange(5), np.arange(5)), 0.1)
+        # The reader's index predates the commit: the disk probe finds it.
+        assert "late" in reader
+        loaded = reader.get("late")
+        assert loaded is not None and loaded[0].num_rows == 5
+
+
+class TestCrashSafety:
+    def entry_dir(self, store: ChunkStore, uri: str) -> str:
+        return store._entry_dir(uri)
+
+    def test_truncated_manifest_is_ignored(self, tmp_path):
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        store.put("ok", make_table(np.arange(4), np.arange(4)), 0.1)
+        store.put("torn", make_table(np.arange(4), np.arange(4)), 0.1)
+        manifest = os.path.join(self.entry_dir(store, "torn"), MANIFEST_NAME)
+        blob = open(manifest, "rb").read()
+        with open(manifest, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])  # kill mid-write
+
+        reopened = ChunkStore(root)
+        assert reopened.uris() == {"ok"}
+        assert reopened.get("torn") is None
+        assert reopened.stats.invalid_entries >= 1
+        # The store stays fully usable: the torn entry can be rewritten.
+        reopened.put("torn", make_table(np.arange(6), np.arange(6)), 0.2)
+        assert reopened.get("torn")[0].num_rows == 6
+
+    def test_missing_manifest_is_ignored(self, tmp_path):
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        store.put("gone", make_table(np.arange(4), np.arange(4)), 0.1)
+        os.unlink(os.path.join(self.entry_dir(store, "gone"), MANIFEST_NAME))
+        reopened = ChunkStore(root)
+        assert reopened.get("gone") is None
+
+    def test_interrupted_staging_dir_is_ignored(self, tmp_path):
+        """A kill mid-spill leaves only a .tmp-* dir — never a torn entry."""
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        staging = os.path.join(root, ".tmp-9999-1")
+        os.makedirs(staging)
+        np.save(os.path.join(staging, "c0.npy"), np.arange(4))
+        # No manifest, no rename: the crash point before commit.
+        reopened = ChunkStore(root)
+        assert len(reopened) == 0
+        assert reopened.get("anything") is None
+        assert store.get("anything") is None
+
+    def test_missing_payload_file_is_invalid(self, tmp_path):
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        store.put("hollow", make_table(np.arange(4), np.arange(4)), 0.1)
+        os.unlink(os.path.join(self.entry_dir(store, "hollow"), "c1.npy"))
+        reopened = ChunkStore(root)
+        assert reopened.get("hollow") is None
+        assert reopened.stats.invalid_entries >= 1
+
+    def test_manifest_uri_mismatch_is_ignored(self, tmp_path):
+        """Digest collisions or copied dirs never serve the wrong chunk."""
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        store.put("real", make_table(np.arange(4), np.arange(4)), 0.1)
+        manifest_path = os.path.join(
+            self.entry_dir(store, "real"), MANIFEST_NAME
+        )
+        manifest = json.load(open(manifest_path))
+        manifest["uri"] = "someone-else"
+        json.dump(manifest, open(manifest_path, "w"))
+        assert ChunkStore(root).get("real") is None
+
+
+class TestMaintenance:
+    def test_delete_and_clear(self, tmp_path):
+        store = ChunkStore(str(tmp_path))
+        for i in range(3):
+            store.put(f"u{i}", make_table(np.arange(4), np.arange(4)), 0.1)
+        store.delete("u1")
+        assert store.uris() == {"u0", "u2"}
+        assert store.get("u1") is None
+        store.clear()
+        assert len(store) == 0
+        assert store.nbytes == 0
+
+    def test_stats_and_tier_snapshot(self, tmp_path):
+        store = ChunkStore(str(tmp_path))
+        store.put("u", make_table(np.arange(64), np.arange(64)), 0.1)
+        store.get("u")
+        store.get("absent")
+        snapshot = store.tier_stats()
+        assert snapshot["entries"] == 1
+        assert snapshot["spills"] == 1
+        assert snapshot["rehydrates"] == 1
+        assert snapshot["misses"] == 1
+        assert snapshot["bytes_stored"] > 0

@@ -1,0 +1,131 @@
+"""Warm restart: SommelierDB.open over a persistent workdir.
+
+The restart contract: after a checkpointing close, reopening the workdir
+(1) restores the catalog pointers — no re-registration needed — and
+(2) serves stage two from the persistent chunk store — no re-decode.
+"""
+
+import os
+
+import pytest
+
+from repro.core.loading import prepare
+from repro.core.sommelier import SommelierDB
+from repro.core.two_stage import TwoStageOptions
+from repro.engine.errors import ExecutionError
+
+T4 = (
+    "SELECT COUNT(*) AS n, AVG(D.sample_value) AS mean FROM dataview "
+    "WHERE F.station = 'ISK' AND F.channel = 'BHE'"
+)
+T1 = "SELECT COUNT(*) AS n FROM gmdview WHERE F.station = 'ISK'"
+
+
+class TestWarmRestart:
+    def test_reopen_serves_without_redecoding(self, tiny_repo, tmp_path):
+        workdir = str(tmp_path / "db")
+        db, _ = prepare("lazy", tiny_repo[0], workdir=workdir)
+        first = db.query(T4)
+        assert first.stats.chunks_loaded > 0
+        db.close()  # persistent workdir: checkpoints + flushes warm tier
+
+        reopened = SommelierDB.open(workdir)
+        second = reopened.query(T4)
+        assert second.table == first.table
+        assert second.stats.chunks_loaded == 0
+        assert second.stats.chunks_rehydrated == first.stats.chunks_loaded
+        reopened.close()
+
+    def test_reopen_restores_metadata_without_repository(self, tiny_repo, tmp_path):
+        """Stage one (metadata-only) works from the checkpoint alone."""
+        workdir = str(tmp_path / "db")
+        db, _ = prepare("lazy", tiny_repo[0], workdir=workdir)
+        expected = db.query(T1).table
+        db.close()
+
+        reopened = SommelierDB.open(workdir)
+        assert reopened.query(T1).table == expected
+        # The loader's URI → file-id map survived too.
+        loader = reopened.database.chunk_loader
+        assert loader is not None and len(loader._file_ids) > 0
+        reopened.close()
+
+    def test_double_restart(self, tiny_repo, tmp_path):
+        workdir = str(tmp_path / "db")
+        db, _ = prepare("lazy", tiny_repo[0], workdir=workdir)
+        expected = db.query(T4).table
+        db.close()
+        for _ in range(2):
+            db = SommelierDB.open(workdir)
+            result = db.query(T4)
+            assert result.table == expected
+            assert result.stats.chunks_loaded == 0
+            db.close()
+
+    def test_open_on_empty_workdir_is_fresh(self, tmp_path):
+        db = SommelierDB.open(str(tmp_path / "nothing"))
+        assert db.database.chunk_loader is None
+        assert db.database.table_num_rows("F") == 0
+        db.close()
+
+    def test_corrupt_checkpoint_opens_fresh(self, tiny_repo, tmp_path):
+        workdir = str(tmp_path / "db")
+        db, _ = prepare("lazy", tiny_repo[0], workdir=workdir)
+        db.query(T4)
+        db.close()
+        with open(os.path.join(workdir, "catalog.json"), "w") as handle:
+            handle.write('{"version": 1, "tab')  # torn write
+        reopened = SommelierDB.open(workdir)  # no crash, cold catalog
+        assert reopened.database.table_num_rows("F") == 0
+        reopened.close()
+
+    def test_closed_database_rejects_queries(self, tiny_repo, tmp_path):
+        db, _ = prepare("lazy", tiny_repo[0], workdir=str(tmp_path / "db"))
+        db.close()
+        db.close()  # idempotent
+        with pytest.raises(ExecutionError, match="closed"):
+            db.query(T1)
+
+    def test_ephemeral_database_does_not_checkpoint(self, tiny_repo):
+        db, _ = prepare("lazy", tiny_repo[0])  # tempdir workdir
+        workdir = db.database.workdir
+        db.query(T4)
+        db.close()
+        assert not os.path.exists(workdir)  # tempdir cleaned, nothing leaks
+
+    def test_drop_caches_still_means_fully_cold(self, tiny_repo, tmp_path):
+        """The paper's cold protocol clears *both* tiers."""
+        db, _ = prepare("lazy", tiny_repo[0], workdir=str(tmp_path / "db"))
+        first = db.query(T4)
+        db.database.recycler.flush_to_store()
+        db.drop_caches()
+        again = db.query(T4)
+        assert again.stats.chunks_loaded == first.stats.chunks_loaded
+        assert again.stats.chunks_rehydrated == 0
+        db.close()
+
+    def test_eager_restart_restores_paged_actual_data(self, tiny_repo, tmp_path):
+        """An eager database's paged-out D survives the restart."""
+        workdir = str(tmp_path / "db")
+        db, _ = prepare("eager_plain", tiny_repo[0], workdir=workdir)
+        expected = db.query(T4).table
+        rows = db.database.table_num_rows("D")
+        assert rows > 0
+        db.close()
+
+        reopened = SommelierDB.open(workdir, lazy=False)
+        assert reopened.database.table_num_rows("D") == rows
+        assert reopened.query(T4).table == expected
+        reopened.close()
+
+    def test_restart_with_options_and_threads(self, tiny_repo, tmp_path):
+        workdir = str(tmp_path / "db")
+        options = TwoStageOptions(io_threads=2)
+        db, _ = prepare("lazy", tiny_repo[0], workdir=workdir, options=options)
+        expected = db.query(T4).table
+        db.close()
+        reopened = SommelierDB.open(workdir, options=options)
+        result = reopened.query(T4)
+        assert result.table == expected
+        assert result.stats.chunks_loaded == 0
+        reopened.close()

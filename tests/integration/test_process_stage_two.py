@@ -1,0 +1,95 @@
+"""Process-based stage two: results identical, store-mediated decode.
+
+Spawning real worker processes is slow (each imports numpy), so this file
+keeps to a few essential end-to-end checks and reuses one database where
+possible; the cheap plumbing (options validation, plan shape) is tested
+without any pool.
+"""
+
+import pytest
+
+from repro.core.loading import prepare
+from repro.core.two_stage import TwoStageOptions
+from repro.engine import algebra
+from repro.engine.errors import PlanError
+
+T4 = (
+    "SELECT COUNT(*) AS n, AVG(D.sample_value) AS mean FROM dataview "
+    "WHERE F.station = 'ISK' AND F.channel = 'BHE'"
+)
+
+
+class TestOptionsPlumbing:
+    def test_executor_validated(self):
+        with pytest.raises(PlanError, match="unknown stage-two executor"):
+            TwoStageOptions(executor="fibers")
+
+    def test_default_is_thread(self):
+        assert TwoStageOptions().executor == "thread"
+
+    def test_parallel_chunk_scan_carries_executor(self):
+        from repro.engine.table import Schema
+
+        scan = algebra.ParallelChunkScan(
+            ["u1", "u2"], "D", Schema([]), io_threads=2, executor="process"
+        )
+        assert scan.executor == "process"
+        assert "executor=process" in scan.describe()
+
+
+class TestProcessExecution:
+    @pytest.fixture(scope="class")
+    def process_db(self, tiny_repo, tmp_path_factory):
+        db, _ = prepare(
+            "lazy",
+            tiny_repo[0],
+            workdir=str(tmp_path_factory.mktemp("procdb")),
+            options=TwoStageOptions(io_threads=2, executor="process"),
+        )
+        yield db
+        db.close()
+
+    def test_results_match_serial_and_workers_commit_to_store(
+        self, process_db, tiny_repo
+    ):
+        serial_db, _ = prepare(
+            "lazy", tiny_repo[0], options=TwoStageOptions(io_threads=1)
+        )
+        expected = serial_db.query(T4)
+        serial_db.close()
+
+        result = process_db.query(T4)
+        assert result.table == expected.table
+        assert result.stats.chunks_loaded == expected.stats.chunks_loaded
+        # The decodes went through the shared store: workers committed
+        # entries the parent mmap-re-hydrated.
+        store = process_db.database.chunk_store
+        assert len(store) >= result.stats.chunks_loaded
+        # ...and the memory tier holds them resident-free (mmap-backed).
+        assert process_db.database.recycler.bytes_mapped > 0
+        assert process_db.database.cache_accounting()["chunk_store"] > 0
+
+    def test_second_query_is_served_from_cache_not_workers(self, process_db):
+        warm = process_db.query(T4)
+        assert warm.stats.chunks_loaded == 0
+        assert (
+            warm.stats.chunks_from_cache + warm.stats.chunks_rehydrated > 0
+        )
+
+    def test_drop_caches_with_live_pool_redecodes(self, process_db):
+        """Workers must not trust stale store indexes after drop_caches."""
+        warm = process_db.query(T4)
+        before = process_db.query(T4).table
+        process_db.drop_caches()  # clears both tiers under the live pool
+        cold = process_db.query(T4)
+        assert cold.table == before
+        assert cold.stats.chunks_loaded > 0  # genuinely re-decoded
+        assert warm.stats.chunks_loaded == 0
+
+    def test_process_pool_requires_loader(self, tmp_path):
+        from repro.engine.database import Database
+        from repro.engine.errors import ExecutionError
+
+        with Database(workdir=str(tmp_path / "bare")) as database:
+            with pytest.raises(ExecutionError, match="chunk loader"):
+                database.process_executor(2)
