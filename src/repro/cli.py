@@ -5,6 +5,8 @@ Usage::
     python -m repro build --base /tmp/data --sf 3 --scale test
     python -m repro query --base /tmp/data --sf 3 --scale test \
         --sql "SELECT COUNT(*) AS n FROM gmdview" [--approach lazy] [--explain]
+    python -m repro explain --base /tmp/data --sf 3 --scale test \
+        --sql "SELECT COUNT(*) AS n FROM dataview" [--warm-sql "..."]
     python -m repro cache --base /tmp/data --sf 3 --scale test \
         --sql "SELECT COUNT(*) AS n FROM dataview" [--json] [--workdir /tmp/db]
     python -m repro bench --experiment fig6 [--profile quick]
@@ -98,9 +100,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the query from N concurrent sessions and report throughput",
     )
 
+    explain = commands.add_parser(
+        "explain",
+        help="print the compiled program and the stage-two chunk plan "
+        "(chunks pruned, predicted tier, cost-ordered fetch schedule)",
+    )
+    _add_dataset_args(explain)
+    explain.add_argument("--sql", required=True, help="the SELECT statement")
+    explain.add_argument(
+        "--approach",
+        default="lazy",
+        choices=sorted(APPROACHES),
+        help="loading approach to prepare the database with",
+    )
+    explain.add_argument(
+        "--warm-sql", action="append", default=None,
+        help="query to execute first (warms caches and value statistics; "
+        "repeatable)",
+    )
+
     cache = commands.add_parser(
         "cache",
-        help="print per-tier recycler statistics (memory + on-disk store)",
+        help="print per-tier recycler statistics (memory + on-disk store) "
+        "plus chunk-planner and prefetch counters",
     )
     _add_dataset_args(cache)
     cache.add_argument(
@@ -269,13 +291,31 @@ def _command_cache(args: argparse.Namespace) -> int:
     try:
         for sql in args.sql or ():
             db.query(sql)
-        stats = db.database.recycler.tier_stats()
+        stats = dict(db.database.recycler.tier_stats())
+        stats.update(db.planner_stats())
         if args.json:
             print(json.dumps(stats, indent=2, sort_keys=True))
         else:
-            for tier, counters in stats.items():
+            for section, counters in stats.items():
                 parts = " ".join(f"{k}={v}" for k, v in counters.items())
-                print(f"[{tier}] {parts}")
+                print(f"[{section}] {parts}")
+        return 0
+    finally:
+        db.close()
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    """Compile-time view plus the runtime chunk plan (no stage two)."""
+    repository, _ = build_or_reuse(
+        args.base, args.sf, SCALES[args.scale], args.fiam
+    )
+    db, _ = prepare(args.approach, repository)
+    try:
+        for sql in args.warm_sql or ():
+            db.query(sql)
+        print(db.explain(args.sql))
+        print()
+        print(db.explain_chunks(args.sql))
         return 0
     finally:
         db.close()
@@ -302,6 +342,7 @@ def main(argv: list[str] | None = None) -> int:
         "build": _command_build,
         "inspect": _command_inspect,
         "query": _command_query,
+        "explain": _command_explain,
         "cache": _command_cache,
         "bench": _command_bench,
     }

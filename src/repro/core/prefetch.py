@@ -1,0 +1,293 @@
+"""Workload-aware chunk prefetching — the sommelier recommending the
+next bottle.
+
+Serving workloads over a remote repository are latency-bound: every cold
+chunk pays a network fetch plus a Steim decode at the moment a query needs
+it.  But real sessions are not random — a client analysing a seismic event
+walks forward through time, station by station.  The
+:class:`WorkloadPrefetcher` exploits that: after every query it looks at
+the chunks the session just touched, predicts the chunks that *follow
+them in time* for the same instrument, and warms the recycler through the
+shared I/O pool while the client is thinking.  A later query that needs a
+prefetched chunk finds it resident (or, at worst, coalesces with the
+in-flight prefetch through the recycler's single-flight slot — the work is
+never duplicated).
+
+Per-session history gates how aggressively we reach ahead: a session seen
+moving forward through time repeatedly earns the full configured depth,
+a fresh or jumping-around session only one chunk.  Everything here is
+advisory — prefetching can only ever move load costs off the query path,
+never change a result.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.database import Database
+
+__all__ = ["PrefetchStats", "WorkloadPrefetcher"]
+
+
+@dataclass
+class PrefetchStats:
+    """Cumulative counters (``repro cache`` and the pruning benchmark)."""
+
+    issued: int = 0
+    completed: int = 0
+    failed: int = 0
+    hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "issued": self.issued,
+            "completed": self.completed,
+            "failed": self.failed,
+            "hits": self.hits,
+        }
+
+
+@dataclass
+class _SessionHistory:
+    """What a session did last, per (station, channel) group."""
+
+    last_max_time: dict[tuple[str, str], float]
+    forward_streak: int = 0
+
+
+class WorkloadPrefetcher:
+    """Predicts and warms the chunks a session is likely to need next."""
+
+    def __init__(
+        self,
+        database: "Database",
+        table_name: str = "D",
+        depth: int = 2,
+        io_threads: int = 2,
+    ) -> None:
+        self.database = database
+        self.table_name = table_name
+        self.depth = max(1, depth)
+        self.io_threads = max(1, io_threads)
+        self.stats = PrefetchStats()
+        self._lock = threading.Lock()
+        # Per-session history, bounded: long-running serving creates an
+        # unbounded stream of session ids, so the least-recently-active
+        # histories are evicted once the cap is reached.
+        self._sessions: "OrderedDict[int, _SessionHistory]" = OrderedDict()
+        self._max_sessions = 512
+        self._warmed: set[str] = set()
+        self._inflight: set[str] = set()
+        self._futures: list[Future] = []
+        # uri -> (successor uri, own start time, group key); rebuilt when
+        # the registered file count changes.
+        self._successors: dict[str, str] = {}
+        self._chunk_time: dict[str, float] = {}
+        self._chunk_group: dict[str, tuple[str, str]] = {}
+        self._indexed_files = -1
+
+    # -- the serving-path hooks --------------------------------------------
+
+    def record_hits(
+        self,
+        required_uris: list[str],
+        resident_uris: "list[str] | None" = None,
+        loaded_uris: "list[str] | None" = None,
+    ) -> int:
+        """How many of a query's chunks a prefetch had warmed *and kept*.
+
+        ``resident_uris`` is the set the query's chunk plan classified as
+        recycler-resident — residency *when the plan was made*, not now:
+        by the time this runs, the query itself has re-loaded anything
+        evicted, so probing the recycler after the fact would count cold
+        loads as hits.  ``loaded_uris`` is what the plan sent to the
+        loader: only those are dropped from the warmed set (the warm copy
+        is provably gone), so a chunk the planner *pruned* while it sits
+        warm in the cache is neither a hit nor forgotten.  Callers without
+        a plan (tests, ad-hoc use) omit both and get a live recycler
+        probe, with every non-resident chunk treated as reloaded.
+        """
+        if resident_uris is None:
+            recycler = self.database.recycler
+            resident = {uri for uri in required_uris if uri in recycler}
+        else:
+            resident = set(resident_uris)
+        if loaded_uris is None:
+            reloaded = {uri for uri in required_uris if uri not in resident}
+        else:
+            reloaded = set(loaded_uris)
+        hits = 0
+        with self._lock:
+            for uri in required_uris:
+                if uri not in self._warmed:
+                    continue
+                if uri in resident:
+                    hits += 1
+                elif uri in reloaded:
+                    self._warmed.discard(uri)
+            self.stats.hits += hits
+        return hits
+
+    def note_query(self, session_id: int, required_uris: list[str]) -> list[str]:
+        """Update session history, predict successors, and warm them.
+
+        Returns the URIs submitted for prefetch (mainly for tests).
+        """
+        if not required_uris:
+            return []
+        self._refresh_index()
+        predictions = self._predict(session_id, required_uris)
+        if not predictions:
+            return []
+        submitted: list[str] = []
+        recycler = self.database.recycler
+        pool = self.database.io_executor(self.io_threads)
+        with self._lock:
+            for uri in predictions:
+                if uri in self._inflight or uri in recycler:
+                    continue
+                self._inflight.add(uri)
+                self.stats.issued += 1
+                submitted.append(uri)
+        futures = [pool.submit(self._warm_one, uri) for uri in submitted]
+        with self._lock:
+            self._futures = [f for f in self._futures if not f.done()]
+            self._futures.extend(futures)
+        return submitted
+
+    def wait_idle(self, timeout: float | None = None) -> None:
+        """Block until every issued prefetch settled (tests, benchmarks)."""
+        with self._lock:
+            pending = list(self._futures)
+            self._futures.clear()
+        for future in pending:
+            try:
+                future.result(timeout=timeout)
+            except Exception:
+                pass  # already accounted in _warm_one
+
+    def stats_snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return self.stats.as_dict()
+
+    # -- prediction --------------------------------------------------------
+
+    def _predict(self, session_id: int, required_uris: list[str]) -> list[str]:
+        """Successor chunks of the touched set, scaled by session history."""
+        with self._lock:
+            history = self._sessions.get(session_id)
+            # The newest chunk per instrument group this query touched.
+            frontier: dict[tuple[str, str], tuple[float, str]] = {}
+            for uri in required_uris:
+                group = self._chunk_group.get(uri)
+                when = self._chunk_time.get(uri)
+                if group is None or when is None:
+                    continue
+                best = frontier.get(group)
+                if best is None or when > best[0]:
+                    frontier[group] = (when, uri)
+            if not frontier:
+                return []
+            moved_forward = False
+            if history is not None:
+                for group, (when, _) in frontier.items():
+                    previous = history.last_max_time.get(group)
+                    if previous is not None and when > previous:
+                        moved_forward = True
+            if history is None:
+                history = _SessionHistory(last_max_time={})
+                self._sessions[session_id] = history
+                while len(self._sessions) > self._max_sessions:
+                    self._sessions.popitem(last=False)
+            else:
+                self._sessions.move_to_end(session_id)
+            history.forward_streak = (
+                history.forward_streak + 1 if moved_forward else 1
+            )
+            for group, (when, _) in frontier.items():
+                prior = history.last_max_time.get(group)
+                if prior is None or when > prior:
+                    history.last_max_time[group] = when
+            depth = min(self.depth, history.forward_streak)
+            required = set(required_uris)
+            predictions: list[str] = []
+            for _, uri in sorted(frontier.values()):
+                cursor = uri
+                for _ in range(depth):
+                    cursor = self._successors.get(cursor)
+                    if cursor is None:
+                        break
+                    # Residency (not warming history) decides skipping, so
+                    # a warmed-then-evicted chunk is warmable again; the
+                    # recycler check happens at submission time.
+                    if cursor not in required:
+                        predictions.append(cursor)
+            return predictions
+
+    def _refresh_index(self) -> None:
+        """(Re)build the successor chains from F and S given metadata."""
+        catalog = self.database.catalog
+        files = catalog.table("F").data
+        if files.num_rows == self._indexed_files:
+            return
+        segments = catalog.table("S").data
+        start_by_file: dict[int, int] = {}
+        if segments.num_rows:
+            file_ids = segments.column("file_id").values
+            starts = segments.column("start_time").values
+            order = np.argsort(starts, kind="stable")
+            for row in order[::-1]:
+                # Iterating descending start time, the last write wins —
+                # i.e. the *earliest* start per file survives.
+                start_by_file[int(file_ids[row])] = int(starts[row])
+        chains: dict[tuple[str, str], list[tuple[float, str]]] = {}
+        chunk_time: dict[str, float] = {}
+        chunk_group: dict[str, tuple[str, str]] = {}
+        for row in range(files.num_rows):
+            uri = files.column("uri")[row]
+            group = (
+                files.column("station")[row],
+                files.column("channel")[row],
+            )
+            start = start_by_file.get(int(files.column("file_id")[row]))
+            if start is None:
+                continue
+            chains.setdefault(group, []).append((float(start), uri))
+            chunk_time[uri] = float(start)
+            chunk_group[uri] = group
+        successors: dict[str, str] = {}
+        for chain in chains.values():
+            chain.sort()
+            for (_, this_uri), (_, next_uri) in zip(chain, chain[1:]):
+                successors[this_uri] = next_uri
+        with self._lock:
+            self._successors = successors
+            self._chunk_time = chunk_time
+            self._chunk_group = chunk_group
+            self._indexed_files = files.num_rows
+
+    # -- the warming task --------------------------------------------------
+
+    def _warm_one(self, uri: str) -> None:
+        database = self.database
+        try:
+            database.recycler.get_or_load(
+                uri, lambda u: database.load_chunk(u, self.table_name)
+            )
+        except Exception:
+            with self._lock:
+                self.stats.failed += 1
+        else:
+            with self._lock:
+                self.stats.completed += 1
+                self._warmed.add(uri)
+        finally:
+            with self._lock:
+                self._inflight.discard(uri)

@@ -21,6 +21,7 @@ import numpy as np
 from ..engine.column import Column
 from ..engine.database import Database
 from ..engine.errors import ExecutionError
+from ..engine.indexes import ZoneMap
 from ..engine.table import Field, Schema, Table, TableBuilder
 from ..engine.types import INT64, TIMESTAMP
 from ..mseed import reader
@@ -183,6 +184,7 @@ class Registrar:
                     )
                 )
                 num_segments += 1
+            self._record_chunk_stats(uri, file_id, file_meta)
         self.database.insert("F", f_builder.finish())
         self.database.insert("S", s_builder.finish())
         # Decode workers snapshot the loader at pool creation; the file ids
@@ -194,6 +196,48 @@ class Registrar:
             num_segments=num_segments,
             seconds=elapsed,
             metadata_bytes=self.database.metadata_nbytes(),
+        )
+
+    def _record_chunk_stats(self, uri: str, file_id: int, file_meta) -> None:
+        """Seed the chunk-statistics catalog from the headers just read.
+
+        Header information yields *true bounds* without touching payloads:
+        the chunk's time span (every sample of a segment lies in
+        ``[start, end)``), its constant ``file_id`` and its segment-number
+        range — plus a per-segment time zone map for sub-chunk pruning
+        (a query window falling entirely into inter-segment gaps skips the
+        whole chunk).  Value ranges stay unknown until the first decode.
+        """
+        segments = file_meta.segments
+        if not segments:
+            return
+        ad_table = "D"
+        time_column = self.database.in_situ_time_columns.get(
+            ad_table, f"{ad_table}.sample_time"
+        )
+        zones = ZoneMap(time_column)
+        for segment in segments:
+            zones.add_zone(
+                segment.segment_no,
+                segment.start_time_ms,
+                max(segment.start_time_ms, segment.end_time_ms - 1),
+            )
+        ranges = {
+            time_column: (
+                float(min(s.start_time_ms for s in segments)),
+                float(max(s.end_time_ms for s in segments) - 1),
+            ),
+            f"{ad_table}.file_id": (float(file_id), float(file_id)),
+            f"{ad_table}.segment_no": (
+                float(min(s.segment_no for s in segments)),
+                float(max(s.segment_no for s in segments)),
+            ),
+        }
+        self.database.chunk_stats.record_registration(
+            uri,
+            ranges,
+            num_rows=file_meta.total_samples,
+            segment_zones=zones,
         )
 
     def _ensure_loader(self) -> XseedChunkLoader:

@@ -3,29 +3,40 @@
 Between the two execution stages, every access to an actual-data table is
 rewritten using the stage-one result::
 
-    scan(a)  →  ∪_{f ∈ result-scan(Qf)}  cache-scan(f)    if f ∈ C
-                                          chunk-access(f)  otherwise
+    scan(a)  →  schedule( planner(f ∈ result-scan(Qf)) )
 
-where ``C`` is the set of chunks currently cached by the Recycler.  When a
-selection sits directly on the scan, it is pushed into the per-chunk
-accesses (the paper's second rewrite rule) — for cache-scans as a selection
-above, for chunk-accesses as a pushed predicate evaluated right after
-ingestion (the chunk itself is cached unfiltered so later queries with
-different predicates still benefit).
+The chunk planner (:mod:`repro.engine.chunk_planner`) first *prunes* the
+stage-one chunk set against per-chunk min/max statistics — a chunk whose
+ranges cannot satisfy the scan's literal bound conjuncts contributes no
+rows, so skipping its fetch is free correctness-preserving work — then
+classifies every surviving chunk by the tier it will be served from
+(recycler-resident < spilled mmap < remote fetch+decode) and emits a
+cost-ordered fetch schedule.  The resulting
+:class:`~repro.engine.chunk_planner.ChunkPlan` rides inside one
+:class:`~repro.engine.algebra.ParallelChunkScan`, whose serial
+(``io_threads == 1``), thread and process executors all honor the same
+schedule — fetch order is identical across them, and assembly order keeps
+results bit-identical to unscheduled execution.
+
+When a selection sits directly on the scan, it is pushed into the chunk
+pipeline (the paper's second rewrite rule) and doubles as the pruning
+predicate; the chunk itself is cached unfiltered so later queries with
+different predicates still benefit.
+
+The classic per-chunk union — cache-scan for chunks in ``C``, chunk-access
+otherwise — remains the rewrite shape for the *in-situ* chunk access
+strategy, whose sub-chunk selective decode lives inside the ``ChunkAccess``
+operator.
 
 The rewrite happens inside the MAL program: the Run-time Optimizer locates
 the pending ``EvalPlan`` instructions and replaces the relevant plan
-subtrees.  With ``io_threads > 1`` the scan is rewritten into a
-:class:`~repro.engine.algebra.ParallelChunkScan` — a morsel-style pipeline
-over the database's shared I/O pool in which chunk decodes overlap stage-two
-evaluation (the concurrent evolution of Section V-3's per-file
-parallelization; the serial per-chunk union remains the ``io_threads == 1``
-path).
+subtrees.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..engine import algebra
 from ..engine.database import Database
@@ -33,6 +44,9 @@ from ..engine.errors import ExecutionError
 from ..engine.mal import EvalPlan, MalProgram
 from ..engine.physical import ExecutionContext
 from .schema import SommelierConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.chunk_planner import ChunkPlan
 
 __all__ = ["RewriteReport", "make_runtime_optimizer", "rewrite_actual_scans"]
 
@@ -44,6 +58,8 @@ class RewriteReport:
     required_uris: list[str] = field(default_factory=list)
     cached_uris: list[str] = field(default_factory=list)
     loaded_uris: list[str] = field(default_factory=list)
+    pruned_uris: list[str] = field(default_factory=list)
+    chunk_plans: "list[ChunkPlan]" = field(default_factory=list)
     rewrote_scans: int = 0
     used_all_chunks_fallback: bool = False
     # perf_counter() timestamp at which stage one handed over control —
@@ -107,19 +123,22 @@ def rewrite_actual_scans(
     push_selections: bool = True,
     io_threads: int = 1,
     executor: str = "thread",
+    prune_chunks: bool = True,
 ) -> algebra.LogicalPlan:
-    """Replace scans of actual-data tables by per-chunk access paths.
+    """Replace scans of actual-data tables by planned chunk access paths.
 
-    With ``io_threads == 1`` every required chunk becomes one branch of a
-    ``Union`` — a cache-scan if the Recycler holds it, a chunk-access
-    otherwise — evaluated serially.  With ``io_threads > 1`` the whole
-    chunk list becomes one :class:`~repro.engine.algebra.ParallelChunkScan`
-    that streams decodes through the shared I/O pool (cached chunks are
-    still served from the Recycler inside that pipeline, so semantics never
-    depend on cache state).
+    Every rewritten scan goes through the database's chunk planner: the
+    candidate URIs are pruned against per-chunk statistics (when
+    ``prune_chunks`` and a predicate allow it), classified by serving tier
+    and cost-ordered.  The surviving chunks become one
+    :class:`~repro.engine.algebra.ParallelChunkScan` driven by that plan on
+    every executor; the in-situ access strategy instead keeps the classic
+    serial union of cache-scans / chunk-accesses (its selective decode
+    lives inside ``ChunkAccess``), built from the same pruned plan.
     """
     actual = set(config.actual_tables)
     cached = database.recycler.cached_uris()
+    in_situ = database.chunk_access_strategy == "in_situ"
 
     def make_access(uri: str, scan: algebra.Scan,
                     predicate) -> algebra.LogicalPlan:
@@ -135,19 +154,32 @@ def rewrite_actual_scans(
         )
 
     def make_chunk_set(
-        scan: algebra.Scan, predicate
+        scan: algebra.Scan, predicate, planning_predicate
     ) -> algebra.LogicalPlan:
-        if io_threads > 1 and len(uris) > 1:
-            return algebra.ParallelChunkScan(
-                uris,
-                scan.table_name,
-                scan.schema,
-                pushed_predicate=predicate,
-                io_threads=io_threads,
-                executor=executor,
+        chunk_plan = database.chunk_planner.plan(
+            uris, scan.table_name, planning_predicate, prune=prune_chunks
+        )
+        report.chunk_plans.append(chunk_plan)
+        report.pruned_uris.extend(p.uri for p in chunk_plan.pruned)
+        if in_situ:
+            # Sub-chunk selective decode needs the per-chunk access
+            # operator; scheduling is moot (decodes are partial), but the
+            # planner's pruning still applies.
+            if not chunk_plan.chunks:
+                return algebra.EmptyRelation(scan.schema)
+            return algebra.Union(
+                [
+                    make_access(chunk.uri, scan, predicate)
+                    for chunk in chunk_plan.chunks
+                ]
             )
-        return algebra.Union(
-            [make_access(uri, scan, predicate) for uri in uris]
+        return algebra.ParallelChunkScan(
+            chunk_plan,
+            scan.table_name,
+            scan.schema,
+            pushed_predicate=predicate,
+            io_threads=io_threads,
+            executor=executor,
         )
 
     def transform(node: algebra.LogicalPlan) -> algebra.LogicalPlan:
@@ -160,7 +192,10 @@ def rewrite_actual_scans(
             if not uris:
                 return node  # base table is empty in lazy mode: 0 rows
             predicate = node.predicate if push_selections else None
-            chunk_set = make_chunk_set(node.child, predicate)
+            # The planner always sees the full selection: pruning is safe
+            # whenever the predicate is applied to the surviving rows,
+            # whether pushed into the chunk set or kept above it.
+            chunk_set = make_chunk_set(node.child, predicate, node.predicate)
             if not push_selections:
                 return algebra.Select(chunk_set, node.predicate)
             return chunk_set
@@ -168,7 +203,7 @@ def rewrite_actual_scans(
             report.rewrote_scans += 1
             if not uris:
                 return node
-            return make_chunk_set(node, None)
+            return make_chunk_set(node, None, None)
         return _rebuild(node, transform)
 
     return transform(plan)
@@ -205,6 +240,7 @@ def make_runtime_optimizer(
     io_threads: int = 1,
     executor: str = "thread",
     push_selections: bool = True,
+    prune_chunks: bool = True,
 ):
     """Build the callback installed into ``CallRuntimeOptimizer``."""
 
@@ -221,16 +257,7 @@ def make_runtime_optimizer(
         call = program.instructions[next_pc - 1]
         input_var = getattr(call, "input_var", "qf")
         uris = _required_uris(ctx, input_var, config, report)
-        cached = database.recycler.cached_uris()
-        report.cached_uris = sorted(set(uris) & cached)
-        report.loaded_uris = [uri for uri in uris if uri not in cached]
 
-        # The parallel pipeline decodes whole chunks, which defeats the
-        # in-situ accessor (it decodes sub-chunk ranges inside the
-        # ChunkAccess operator) — fall back to the serial per-chunk union.
-        effective_threads = (
-            1 if database.chunk_access_strategy == "in_situ" else io_threads
-        )
         new_tail: list = []
         for instruction in program.instructions[next_pc:]:
             if isinstance(instruction, EvalPlan):
@@ -241,12 +268,22 @@ def make_runtime_optimizer(
                     uris,
                     report,
                     push_selections=push_selections,
-                    io_threads=effective_threads,
+                    io_threads=io_threads,
                     executor=executor,
+                    prune_chunks=prune_chunks,
                 )
                 new_tail.append(EvalPlan(instruction.var, rewritten))
             else:
                 new_tail.append(instruction)
         program.replace_from(next_pc, new_tail)
+
+        # Post-planning accounting: what survives, where it comes from,
+        # what statistics proved irrelevant.
+        pruned = set(report.pruned_uris)
+        ctx.stats.chunks_pruned += len(report.pruned_uris)
+        cached = database.recycler.cached_uris()
+        survivors = [uri for uri in uris if uri not in pruned]
+        report.cached_uris = sorted(set(survivors) & cached)
+        report.loaded_uris = [uri for uri in survivors if uri not in cached]
 
     return runtime_optimize

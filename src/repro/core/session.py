@@ -71,7 +71,11 @@ class SommelierSession:
             raise ExecutionError(
                 f"session {self.session_id} is closed"
             )
-        result, derivation = self.db.query_with_derivation(sql)
+        # The session id reaches the facade so the workload prefetcher can
+        # keep per-session history (which client is walking forward where).
+        result, derivation = self.db.query_with_derivation(
+            sql, session_id=self.session_id
+        )
         self._accumulate(result, derivation)
         return result, derivation
 

@@ -116,6 +116,17 @@ class SommelierDB:
         self.options = options if options is not None else TwoStageOptions()
         self.compiler = TwoStageCompiler(database, config, self.options)
         self.views = PartialViewManager(database, config, self.compiler, lazy)
+        # Workload-aware prefetcher (opt-in): warms the recycler with the
+        # chunks each session is predicted to need next.
+        self.prefetcher = None
+        if lazy and self.options.prefetch:
+            from .prefetch import WorkloadPrefetcher
+
+            self.prefetcher = WorkloadPrefetcher(
+                database,
+                table_name=config.actual_tables[0],
+                depth=self.options.prefetch_depth,
+            )
         self.stats = SommelierStats()
         self._stats_lock = threading.Lock()
         self._derivation_lock = threading.Lock()
@@ -177,6 +188,10 @@ class SommelierDB:
             options=options,
         )
         db._restore_catalog_pointers()
+        # Chunk statistics committed inside chunk-store manifests survive
+        # even a crash that lost the checkpoint: adopt them so the planner
+        # can prune by value without re-decoding anything.
+        db.database.adopt_store_stats()
         return db
 
     # -- durability ------------------------------------------------------------
@@ -196,6 +211,9 @@ class SommelierDB:
                 "io_delay_ms": loader.io_delay_ms,
                 "file_ids": dict(loader._file_ids),
             }
+        # Per-chunk statistics ride in the same durable pointers file, so a
+        # reopened database prunes as well as the one that closed.
+        pointers["chunk_stats"] = self.database.chunk_stats.to_json()
         for base in self.database.catalog.tables():
             if base.paged and self.database.paged_store.has_table(base.name):
                 # Pages are already on disk (page_out wrote them); record
@@ -232,6 +250,7 @@ class SommelierDB:
             for uri, file_id in loader_info.get("file_ids", {}).items():
                 loader.assign(uri, int(file_id))
             self.database.set_chunk_loader(loader)
+        self.database.chunk_stats.load_json(pointers.get("chunk_stats"))
         for spec in pointers.get("tables", []):
             name = spec["name"]
             base = self.database.catalog.table(name)
@@ -266,9 +285,14 @@ class SommelierDB:
         return result
 
     def query_with_derivation(
-        self, sql: str
+        self, sql: str, session_id: int = 0
     ) -> tuple[QueryResult, DerivationReport]:
-        """Like :meth:`query` but also returns the Algorithm-1 report."""
+        """Like :meth:`query` but also returns the Algorithm-1 report.
+
+        ``session_id`` attributes the query to a client session so the
+        workload prefetcher can track per-session history (0 = the shared
+        facade itself).
+        """
         if self._closed:
             raise ExecutionError("database is closed")
         plan = self.bind(sql)
@@ -281,6 +305,18 @@ class SommelierDB:
             result = self.compiler.execute_two_stage(plan)
         else:
             result = self.compiler.execute_single_stage(plan)
+        if self.prefetcher is not None and result.rewrite.required_uris:
+            # Count which of this query's chunks an earlier prefetch had
+            # warmed (plan-time residency — the query itself re-warms
+            # whatever it loads), then kick off the next predictions.
+            result.stats.chunks_prefetched = self.prefetcher.record_hits(
+                result.rewrite.required_uris,
+                result.rewrite.cached_uris,
+                result.rewrite.loaded_uris,
+            )
+            self.prefetcher.note_query(
+                session_id, result.rewrite.required_uris
+            )
         self._account(result, derivation)
         result.seconds += derivation.seconds
         return result, derivation
@@ -345,6 +381,45 @@ class SommelierDB:
             "single-stage plan:\n" + ordered.pretty()
         )
 
+    def explain_chunks(self, sql: str) -> str:
+        """Run-time view of stage two: the chunk plan, without fetching.
+
+        Executes stage one and the runtime rewrite only, then renders each
+        rewritten scan's :class:`~repro.engine.chunk_planner.ChunkPlan` —
+        chunks pruned by statistics, the predicted serving tier and the
+        cost-ordered fetch schedule.  Backs ``repro explain``.
+        """
+        if not self.lazy:
+            return "eager database: no stage-two chunk plan (data is in D)"
+        compiled = self.compiler.plan_stage_two(self.bind(sql))
+        report = compiled.rewrite
+        lines = [
+            f"stage one named {len(report.required_uris)} candidate "
+            f"chunk(s); {len(report.pruned_uris)} pruned by statistics"
+        ]
+        if not compiled.two_stage:
+            lines.append("metadata-only query: stage two fetches no chunks")
+        for chunk_plan in report.chunk_plans:
+            lines.append(chunk_plan.describe())
+        return "\n".join(lines)
+
+    def planner_stats(self) -> dict:
+        """Cumulative planner + prefetch counters (``repro cache``)."""
+        stats: dict = {
+            "planner": self.database.chunk_planner.stats_snapshot(),
+            "chunk_stats": {
+                "chunks_tracked": len(self.database.chunk_stats),
+                "chunks_enriched": sum(
+                    1
+                    for entry in self.database.chunk_stats.snapshot().values()
+                    if entry.enriched
+                ),
+            },
+        }
+        if self.prefetcher is not None:
+            stats["prefetch"] = self.prefetcher.stats_snapshot()
+        return stats
+
     def drop_caches(self) -> None:
         """Cold-start simulation (paper: restart server, flush buffers)."""
         self.database.drop_caches()
@@ -373,6 +448,10 @@ class SommelierDB:
         """
         if self._closed:
             return
+        if self.prefetcher is not None:
+            # Settle in-flight warm-ups so the checkpoint below flushes a
+            # stable recycler image.
+            self.prefetcher.wait_idle()
         if self.database.persistent:
             self.checkpoint()
         self._closed = True

@@ -28,12 +28,7 @@ from typing import Callable
 from ..engine import algebra
 from ..engine.database import Database
 from ..engine.errors import PlanError
-from ..engine.expressions import (
-    ColumnRef,
-    Comparison,
-    Expression,
-    Literal,
-)
+from ..engine.expressions import Expression
 from ..engine.join_graph import QueryGraph, build_query_graph
 from ..engine.mal import (
     CallRuntimeOptimizer,
@@ -42,6 +37,7 @@ from ..engine.mal import (
     ReturnValue,
 )
 from ..engine.optimizer import optimize as standard_optimize
+from ..engine.predicates import oriented_literal_comparisons
 from ..engine.physical import (
     ExecStats,
     ExecutionContext,
@@ -71,6 +67,15 @@ class TwoStageOptions:
     (the in-process pool; GIL-bound on CPU-heavy decode) or ``"process"``
     (a spawn-based worker pool over the shared on-disk chunk store; decode
     CPU scales with cores).
+
+    ``prune_chunks`` lets the runtime optimizer drop chunks whose min/max
+    statistics cannot satisfy the query's literal predicates before any
+    fetch happens (results are unaffected by construction).
+
+    ``prefetch`` enables the facade-level workload-aware prefetcher: after
+    each query it predicts the session's next chunks from its query
+    history and warms the recycler asynchronously; ``prefetch_depth`` caps
+    how far ahead it reaches.
     """
 
     EXECUTORS = ("thread", "process")
@@ -81,6 +86,9 @@ class TwoStageOptions:
     executor: str = "thread"
     push_selections_into_chunks: bool = True
     infer_time_bounds: bool = True
+    prune_chunks: bool = True
+    prefetch: bool = False
+    prefetch_depth: int = 2
 
     def __post_init__(self) -> None:
         if self.executor not in self.EXECUTORS:
@@ -192,32 +200,17 @@ def _infer_time_bound_predicates(
         ad_table = inference.ad_time_column.split(".", 1)[0]
         if ad_table in graph.vertices:
             for predicate in graph.vertices[ad_table].predicates:
-                normalized = _normalize_bound(predicate, inference.ad_time_column)
-                if normalized is not None:
-                    sources.append(normalized)
+                sources.extend(
+                    oriented_literal_comparisons(
+                        predicate, inference.ad_time_column
+                    )
+                )
         for op, bound in sources:
             implied = inference.infer(op, bound)
             if implied is not None:
                 graph.add_predicate(implied)
                 added += 1
     return added
-
-
-def _normalize_bound(
-    predicate: Expression, time_column: str
-) -> tuple[str, Expression] | None:
-    """Match ``time_column op literal`` (either orientation)."""
-    if not isinstance(predicate, Comparison):
-        return None
-    candidates = [predicate, predicate.flipped()]
-    for comparison in candidates:
-        if (
-            isinstance(comparison.left, ColumnRef)
-            and comparison.left.name == time_column
-            and isinstance(comparison.right, Literal)
-        ):
-            return comparison.op, comparison.right
-    return None
 
 
 class TwoStageCompiler:
@@ -279,6 +272,7 @@ class TwoStageCompiler:
             io_threads=self.options.effective_io_threads,
             executor=self.options.executor,
             push_selections=self.options.push_selections_into_chunks,
+            prune_chunks=self.options.prune_chunks,
         )
         program = MalProgram(
             [
@@ -318,6 +312,27 @@ class TwoStageCompiler:
         return rebuild(ordered.plan), ordered.join_order
 
     # -- execution ----------------------------------------------------------------
+
+    def plan_stage_two(self, plan: algebra.LogicalPlan) -> CompiledQuery:
+        """Run stage one and the runtime rewrite, but fetch no chunks.
+
+        The ``repro explain`` path: after this returns, the compiled
+        query's :class:`~repro.core.runtime_rewrite.RewriteReport` carries
+        the chunk plans the scheduler *would* execute — chunks pruned,
+        predicted serving tier and cost-ordered fetch schedule — without
+        paying for stage two.
+        """
+        compiled = self.compile(plan)
+        ctx = ExecutionContext(self.database)
+        program = compiled.program
+        program.pc = 0
+        program.result_var = None
+        for instruction in list(program.instructions):
+            program.pc += 1
+            instruction.execute(ctx, program)
+            if isinstance(instruction, CallRuntimeOptimizer):
+                break
+        return compiled
 
     def execute_two_stage(self, plan: algebra.LogicalPlan) -> QueryResult:
         """Compile and run a query with lazy loading."""

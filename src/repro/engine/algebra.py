@@ -19,12 +19,15 @@ subtree (needed by the two-stage decomposition).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from .errors import PlanError, TypeMismatchError
 from .expressions import Expression, referenced_columns
 from .table import Field, Schema
 from .types import DataType, FLOAT64, INT64
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .chunk_planner import ChunkPlan
 
 __all__ = [
     "LogicalPlan",
@@ -397,28 +400,37 @@ class ChunkAccess(LogicalPlan):
 
 
 class ParallelChunkScan(LogicalPlan):
-    """Access path ingesting a whole chunk list through a shared I/O pool.
+    """Access path ingesting a planned chunk set through one scheduler.
 
-    The morsel-style replacement for a serial ``Union`` of per-chunk
-    accesses: decodes of the listed URIs run concurrently on the database's
-    shared executor, and each chunk streams into predicate evaluation as
-    soon as its decode completes (decode overlaps evaluation).  Cached
-    chunks are served from the Recycler; loads of the same URI issued by
-    concurrent queries are coalesced (single-flight).  Row order is kept
-    deterministic: output rows follow the given URI order, exactly like the
-    serial union.
+    The scheduler-driven replacement for a serial ``Union`` of per-chunk
+    accesses.  The node carries a
+    :class:`~repro.engine.chunk_planner.ChunkPlan` — the statistics-pruned,
+    cost-ordered contract of the chunk planner — and all three executors
+    honor it identically: fetches are issued in ``plan.fetch_order``
+    (most expensive first, so remote latency overlaps cheap hits) while
+    output rows follow the plan's assembly order, so results are
+    bit-identical across serial (``io_threads == 1``), thread and process
+    execution.  Cached chunks are served from the Recycler; loads of the
+    same URI issued by concurrent queries are coalesced (single-flight).
     """
 
     def __init__(
         self,
-        uris: Sequence[str],
+        chunks: "ChunkPlan | Sequence[str]",
         table_name: str,
         schema: Schema,
         pushed_predicate: Expression | None = None,
         io_threads: int = 4,
         executor: str = "thread",
     ) -> None:
-        self.uris = tuple(uris)
+        from .chunk_planner import ChunkPlan
+
+        if isinstance(chunks, ChunkPlan):
+            self.plan = chunks
+        else:
+            # Plain URI lists (tests, ad-hoc callers) get an unplanned
+            # wrapper: nothing pruned, natural fetch order.
+            self.plan = ChunkPlan.trivial(list(chunks), table_name)
         self.table_name = table_name
         self.schema = schema
         self.pushed_predicate = pushed_predicate
@@ -427,6 +439,10 @@ class ParallelChunkScan(LogicalPlan):
         # decodes through the database's spawn-based worker pool over the
         # shared on-disk chunk store (GIL-free stage two).
         self.executor = executor
+
+    @property
+    def uris(self) -> tuple[str, ...]:
+        return self.plan.uris
 
     def base_tables(self) -> set[str]:
         return {self.table_name}
@@ -437,6 +453,8 @@ class ParallelChunkScan(LogicalPlan):
             if self.pushed_predicate is not None
             else ""
         )
+        if self.plan.pruned:
+            suffix = f", pruned={len(self.plan.pruned)}{suffix}"
         return (
             f"ParallelChunkScan({len(self.uris)} chunks, "
             f"io_threads={self.io_threads}, executor={self.executor}{suffix})"

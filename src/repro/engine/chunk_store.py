@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .chunk_stats import compute_column_ranges, parse_ranges
 from .errors import StorageError
 from .table import Field, Schema, Table
 from .types import STRING, type_by_name
@@ -87,6 +88,10 @@ class ChunkStore:
         self._tmp_counter = 0
         # uri -> (dirname, payload_bytes, loading_cost)
         self._index: dict[str, tuple[str, int, float]] = {}
+        # Stats sidecars parsed during the startup scan, served (and
+        # dropped) on first get_stats so open-time adoption does not
+        # re-read every manifest it just parsed.
+        self._scanned_stats: dict[str, dict[str, tuple[float, float]]] = {}
         self._scan()
 
     # -- keys and layout ---------------------------------------------------
@@ -112,6 +117,9 @@ class ChunkStore:
             self._index[manifest["uri"]] = (
                 name, payload, float(manifest.get("loading_cost", 0.0))
             )
+            ranges = parse_ranges(manifest.get("stats"))
+            if ranges is not None:
+                self._scanned_stats[manifest["uri"]] = ranges
 
     @staticmethod
     def _read_manifest(entry_dir: str) -> dict | None:
@@ -164,6 +172,31 @@ class ChunkStore:
             entry = self._index.get(uri)
             return entry[2] if entry is not None else None
 
+    def payload_nbytes(self, uri: str) -> int:
+        """Indexed payload bytes of one entry (0 when unknown)."""
+        with self._lock:
+            entry = self._index.get(uri)
+            return entry[1] if entry is not None else 0
+
+    def get_stats(self, uri: str) -> dict[str, tuple[float, float]] | None:
+        """The statistics sidecar of one committed entry, validated.
+
+        Returns ``{column: (min, max)}`` or None when the entry is absent,
+        predates the sidecar, or the sidecar is partial/corrupt — a broken
+        sidecar never surfaces as (wrong) bounds, and never makes the
+        chunk itself unreadable.  Sidecars parsed by the startup scan are
+        served from memory once; later calls probe the filesystem (the
+        entry may have been rewritten or deleted by another process).
+        """
+        with self._lock:
+            scanned = self._scanned_stats.pop(uri, None)
+        if scanned is not None:
+            return scanned
+        manifest = self._read_manifest(self._entry_dir(uri))
+        if manifest is None or manifest["uri"] != uri:
+            return None
+        return parse_ranges(manifest.get("stats"))
+
     # -- write path --------------------------------------------------------
 
     def put(
@@ -214,6 +247,15 @@ class ChunkStore:
                 "loading_cost": loading_cost,
                 "num_rows": table.num_rows,
                 "columns": columns,
+                # Statistics sidecar: exact numeric min/max of the decoded
+                # chunk, committed atomically with the data.  Readers that
+                # fail to parse it treat it as absent (never wrong).
+                "stats": {
+                    name: [low, high]
+                    for name, (low, high) in compute_column_ranges(
+                        table
+                    ).items()
+                },
             }
             # The manifest is the commit marker within the staging dir; the
             # rename below is the commit marker within the store.
@@ -228,6 +270,7 @@ class ChunkStore:
             raise
         with self._lock:
             self._index[uri] = (os.path.basename(final), payload, loading_cost)
+            self._scanned_stats.pop(uri, None)  # superseded by this write
             self.stats.spills += 1
             self.stats.bytes_spilled += payload
         return payload
@@ -322,12 +365,14 @@ class ChunkStore:
     def delete(self, uri: str) -> None:
         with self._lock:
             self._index.pop(uri, None)
+            self._scanned_stats.pop(uri, None)
         shutil.rmtree(self._entry_dir(uri), ignore_errors=True)
 
     def clear(self) -> None:
         """Drop every entry (the fully-cold protocol of the experiments)."""
         with self._lock:
             self._index.clear()
+            self._scanned_stats.clear()
         for name in os.listdir(self.root):
             shutil.rmtree(os.path.join(self.root, name), ignore_errors=True)
 

@@ -30,6 +30,8 @@ from typing import Protocol, Sequence
 import numpy as np
 
 from .catalog import Catalog
+from .chunk_planner import ChunkPlanner
+from .chunk_stats import ChunkStatsCatalog
 from .chunk_store import ChunkStore
 from .column import Column
 from .errors import CatalogError, ExecutionError
@@ -112,6 +114,11 @@ class Database:
             os.path.join(workdir, "pages"), self.buffer_pool, page_rows
         )
         self.chunk_loader: ChunkLoader | None = None
+        # Per-chunk min/max statistics (seeded from headers at registration,
+        # enriched at first decode) and the planner that prunes and
+        # cost-orders stage-two chunk fetches against them.
+        self.chunk_stats = ChunkStatsCatalog()
+        self.chunk_planner = ChunkPlanner(self)
         self.hash_indexes: dict[tuple[str, tuple[str, ...]], HashIndex] = {}
         self.join_indexes: list[JoinIndex] = []
         # Cumulative seconds spent decoding chunks, for loading-cost reports.
@@ -331,7 +338,33 @@ class Database:
                 f"chunk loader returned schema {raw.schema.names} for "
                 f"{table_name!r}, expected {base.schema.names}"
             )
-        return qualify_chunk(raw, table_name), elapsed
+        qualified = qualify_chunk(raw, table_name)
+        self.chunk_stats.observe_table(uri, qualified, loading_cost=elapsed)
+        return qualified, elapsed
+
+    def adopt_store_stats(self) -> int:
+        """Recover decode-derived chunk statistics from store sidecars.
+
+        Called when reopening a persistent workdir: every committed chunk
+        carries its exact numeric ranges in the manifest, so a restarted
+        database can prune by value without re-decoding anything.  Returns
+        the number of chunks adopted.
+        """
+        if self.chunk_store is None:
+            return 0
+        adopted = 0
+        for uri in sorted(self.chunk_store.uris()):
+            if self.chunk_stats.is_enriched(uri):
+                continue
+            ranges = self.chunk_store.get_stats(uri)
+            if ranges is None:
+                continue
+            self.chunk_stats.adopt_persisted(
+                uri, ranges,
+                loading_cost=self.chunk_store.loading_cost(uri),
+            )
+            adopted += 1
+        return adopted
 
     def load_chunk_range(
         self, uri: str, table_name: str, start_ms: int | None,

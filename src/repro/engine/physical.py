@@ -30,6 +30,7 @@ from .column import Column
 from .errors import ExecutionError, PlanError
 from .expressions import Comparison, ColumnRef, Expression, conjuncts
 from .hashjoin import composite_codes_pair, equi_join_pairs
+from .predicates import extract_time_bounds
 from .table import Schema, Table
 from .types import FLOAT64, INT64, STRING, TIMESTAMP
 
@@ -49,6 +50,8 @@ class ExecStats:
     chunks_loaded: int = 0
     chunks_from_cache: int = 0
     chunks_rehydrated: int = 0
+    chunks_pruned: int = 0
+    chunks_prefetched: int = 0
     chunk_rows_loaded: int = 0
     chunk_load_seconds: float = 0.0
     joins_executed: int = 0
@@ -60,6 +63,8 @@ class ExecStats:
         self.chunks_loaded = 0
         self.chunks_from_cache = 0
         self.chunks_rehydrated = 0
+        self.chunks_pruned = 0
+        self.chunks_prefetched = 0
         self.chunk_rows_loaded = 0
         self.chunk_load_seconds = 0.0
         self.joins_executed = 0
@@ -71,6 +76,8 @@ class ExecStats:
         self.chunks_loaded += other.chunks_loaded
         self.chunks_from_cache += other.chunks_from_cache
         self.chunks_rehydrated += other.chunks_rehydrated
+        self.chunks_pruned += other.chunks_pruned
+        self.chunks_prefetched += other.chunks_prefetched
         self.chunk_rows_loaded += other.chunk_rows_loaded
         self.chunk_load_seconds += other.chunk_load_seconds
         self.joins_executed += other.joins_executed
@@ -165,7 +172,11 @@ def _execute_cache_scan(plan: algebra.CacheScan, ctx: ExecutionContext) -> Table
 
 
 def _record_chunk_outcome(
-    ctx: ExecutionContext, chunk: Table, outcome: str, cost_seconds: float
+    ctx: ExecutionContext,
+    uri: str,
+    chunk: Table,
+    outcome: str,
+    cost_seconds: float,
 ) -> None:
     """Account one recycler ``get_or_load`` outcome into the exec stats."""
     if outcome == "loaded":
@@ -176,6 +187,14 @@ def _record_chunk_outcome(
         ctx.stats.chunks_rehydrated += 1
     else:  # "hit" or "coalesced": another query (or this one) paid the cost
         ctx.stats.chunks_from_cache += 1
+    if outcome in ("loaded", "rehydrated"):
+        # A full chunk is in hand: enrich the planner's statistics (no-op
+        # when already enriched).  This is what turns value-predicate
+        # pruning on for subsequent queries — including mmap re-hydrates
+        # and process-worker decodes that bypass Database.load_chunk.
+        ctx.database.chunk_stats.observe_table(
+            uri, chunk, loading_cost=cost_seconds if outcome == "loaded" else None
+        )
 
 
 def _execute_chunk_access(plan: algebra.ChunkAccess, ctx: ExecutionContext) -> Table:
@@ -186,7 +205,7 @@ def _execute_chunk_access(plan: algebra.ChunkAccess, ctx: ExecutionContext) -> T
     chunk, outcome, cost_seconds = database.recycler.get_or_load(
         plan.uri, lambda uri: database.load_chunk(uri, plan.table_name)
     )
-    _record_chunk_outcome(ctx, chunk, outcome, cost_seconds)
+    _record_chunk_outcome(ctx, plan.uri, chunk, outcome, cost_seconds)
     result = _align_chunk(chunk, plan.schema)
     if plan.pushed_predicate is not None:
         mask = np.asarray(plan.pushed_predicate.evaluate(result), dtype=np.bool_)
@@ -197,12 +216,16 @@ def _execute_chunk_access(plan: algebra.ChunkAccess, ctx: ExecutionContext) -> T
 def _execute_parallel_chunk_scan(
     plan: algebra.ParallelChunkScan, ctx: ExecutionContext
 ) -> Table:
-    """Morsel-style stage-two pipeline over a rewritten chunk list.
+    """The chunk scheduler: planned fetch order over any executor.
 
-    Decodes are submitted to the database's shared I/O pool; as each chunk
+    Fetches are issued in the chunk plan's scheduled order (most expensive
+    tier first, so remote fetch latency overlaps cheap cache hits and
+    re-hydrates) — serially on the query thread with ``io_threads == 1``,
+    through the database's shared I/O pool otherwise; as each chunk
     completes it is aligned and filtered on the query thread while the
-    remaining decodes keep running — decode overlaps evaluation.  The final
-    concatenation preserves URI order so results match serial execution.
+    remaining decodes keep running.  The final concatenation follows the
+    plan's assembly (URI) order, so every executor produces bit-identical
+    rows.
 
     With ``plan.executor == "process"`` the actual Steim decode happens in
     the database's spawn-based worker pool: a worker commits the decoded
@@ -248,10 +271,15 @@ def _execute_parallel_chunk_scan(
     def decode(uri: str) -> tuple[Table, str, float]:
         return database.recycler.get_or_load(uri, load_one)
 
-    pieces: list[Table | None] = [None] * len(plan.uris)
+    chunk_plan = plan.plan
+    uris = plan.uris
+    pieces: list[Table | None] = [None] * len(uris)
+    # Scheduled fetch order (descending estimated cost); assembly stays in
+    # plan order below, so scheduling never changes the result.
+    schedule = chunk_plan.fetch_order or tuple(range(len(uris)))
 
     def ingest(index: int, chunk: Table, outcome: str, cost: float) -> None:
-        _record_chunk_outcome(ctx, chunk, outcome, cost)
+        _record_chunk_outcome(ctx, uris[index], chunk, outcome, cost)
         piece = _align_chunk(chunk, plan.schema)
         if plan.pushed_predicate is not None:
             mask = np.asarray(
@@ -260,11 +288,11 @@ def _execute_parallel_chunk_scan(
             piece = piece.filter(mask)
         pieces[index] = piece
 
-    if plan.io_threads > 1 and len(plan.uris) > 1:
+    if plan.io_threads > 1 and len(uris) > 1:
         executor = database.io_executor(plan.io_threads)
         futures = {
-            executor.submit(decode, uri): index
-            for index, uri in enumerate(plan.uris)
+            executor.submit(decode, uris[index]): index
+            for index in schedule
         }
         try:
             for future in as_completed(futures):
@@ -276,8 +304,8 @@ def _execute_parallel_chunk_scan(
                 pending.cancel()
             raise
     else:
-        for index, uri in enumerate(plan.uris):
-            chunk, outcome, cost = decode(uri)
+        for index in schedule:
+            chunk, outcome, cost = decode(uris[index])
             ingest(index, chunk, outcome, cost)
 
     return Table.concat_all([piece for piece in pieces if piece is not None])
@@ -302,7 +330,7 @@ def _try_in_situ_access(
     time_column = database.in_situ_time_columns.get(plan.table_name)
     if time_column is None:
         return None
-    bounds = _extract_time_bounds(plan.pushed_predicate, time_column)
+    bounds = extract_time_bounds(plan.pushed_predicate, time_column)
     if bounds is None:
         return None
     low, high = bounds
@@ -316,42 +344,6 @@ def _try_in_situ_access(
     result = _align_chunk(table, plan.schema)
     mask = np.asarray(plan.pushed_predicate.evaluate(result), dtype=np.bool_)
     return result.filter(mask)
-
-
-def _extract_time_bounds(
-    predicate: Expression, time_column: str
-) -> tuple[int | None, int | None] | None:
-    """(low, high) literal bounds on the time column, or None if absent."""
-    from .expressions import Literal
-
-    low: int | None = None
-    high: int | None = None
-    found = False
-    for conjunct in conjuncts(predicate):
-        if not isinstance(conjunct, Comparison):
-            continue
-        for oriented in (conjunct, conjunct.flipped()):
-            if (
-                isinstance(oriented.left, ColumnRef)
-                and oriented.left.name == time_column
-                and isinstance(oriented.right, Literal)
-            ):
-                bound = int(oriented.right.value)
-                if oriented.op == ">=":
-                    low = bound if low is None else max(low, bound)
-                elif oriented.op == ">":
-                    low = bound + 1 if low is None else max(low, bound + 1)
-                elif oriented.op == "<":
-                    high = bound if high is None else min(high, bound)
-                elif oriented.op == "<=":
-                    high = bound + 1 if high is None else min(high, bound + 1)
-                else:
-                    continue
-                found = True
-                break
-    if not found:
-        return None
-    return low, high
 
 
 def _align_chunk(chunk: Table, schema: Schema) -> Table:

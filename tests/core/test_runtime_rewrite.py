@@ -1,9 +1,18 @@
-"""Unit tests for the run-time rewrite (rewrite rule (1)) in isolation."""
+"""Unit tests for the run-time rewrite (rewrite rule (1)) in isolation.
+
+Since the chunk-planner refactor every rewritten actual-data scan becomes
+one :class:`~repro.engine.algebra.ParallelChunkScan` carrying a
+statistics-pruned, cost-ordered :class:`ChunkPlan` (the serial executor is
+the same scheduler with ``io_threads == 1``); the classic union of
+cache-scans / chunk-accesses remains the shape for the in-situ access
+strategy only.
+"""
 
 import pytest
 
 from repro.core.runtime_rewrite import RewriteReport, rewrite_actual_scans
 from repro.engine import algebra
+from repro.engine.chunk_planner import TIER_REMOTE, TIER_RESIDENT
 from repro.engine.expressions import Comparison, col, lit
 
 
@@ -31,24 +40,28 @@ def uris(lazy_db):
 
 
 class TestRewriteRule1:
-    def test_plain_scan_becomes_union(self, lazy_db, scan_d, uris):
+    def test_plain_scan_becomes_planned_chunk_scan(
+        self, lazy_db, scan_d, uris
+    ):
         report = RewriteReport()
         rewritten = rewrite_actual_scans(
             scan_d, lazy_db.database, lazy_db.config, uris, report
         )
-        assert isinstance(rewritten, algebra.Union)
-        assert len(rewritten.children()) == 3
+        assert isinstance(rewritten, algebra.ParallelChunkScan)
+        assert list(rewritten.uris) == uris
         assert report.rewrote_scans == 1
+        assert len(report.chunk_plans) == 1
 
-    def test_all_uncached_become_chunk_access(self, lazy_db, scan_d, uris):
+    def test_all_uncached_planned_as_remote(self, lazy_db, scan_d, uris):
         report = RewriteReport()
         rewritten = rewrite_actual_scans(
             scan_d, lazy_db.database, lazy_db.config, uris, report
         )
-        assert len(find_nodes(rewritten, algebra.ChunkAccess)) == 3
-        assert len(find_nodes(rewritten, algebra.CacheScan)) == 0
+        assert all(
+            chunk.tier == TIER_REMOTE for chunk in rewritten.plan.chunks
+        )
 
-    def test_cached_chunks_become_cache_scans(self, lazy_db, scan_d, uris):
+    def test_cached_chunks_planned_as_resident(self, lazy_db, scan_d, uris):
         # Warm one chunk into the recycler.
         table, cost = lazy_db.database.load_chunk(uris[0], "D")
         lazy_db.database.recycler.put(uris[0], table, cost)
@@ -56,10 +69,25 @@ class TestRewriteRule1:
         rewritten = rewrite_actual_scans(
             scan_d, lazy_db.database, lazy_db.config, uris, report
         )
-        assert len(find_nodes(rewritten, algebra.CacheScan)) == 1
-        assert len(find_nodes(rewritten, algebra.ChunkAccess)) == 2
+        tiers = {c.uri: c.tier for c in rewritten.plan.chunks}
+        assert tiers[uris[0]] == TIER_RESIDENT
+        assert all(tiers[uri] == TIER_REMOTE for uri in uris[1:])
 
-    def test_selection_pushed_into_chunk_access(self, lazy_db, scan_d, uris):
+    def test_remote_fetches_scheduled_before_resident(
+        self, lazy_db, scan_d, uris
+    ):
+        table, cost = lazy_db.database.load_chunk(uris[0], "D")
+        lazy_db.database.recycler.put(uris[0], table, cost)
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            scan_d, lazy_db.database, lazy_db.config, uris, report
+        )
+        plan = rewritten.plan
+        scheduled_tiers = [plan.chunks[i].tier for i in plan.fetch_order]
+        # Most expensive first: the free resident chunk is fetched last.
+        assert scheduled_tiers[-1] == TIER_RESIDENT
+
+    def test_selection_pushed_into_chunk_scan(self, lazy_db, scan_d, uris):
         predicate = Comparison(">", col("D.sample_value"), lit(0))
         plan = algebra.Select(scan_d, predicate)
         report = RewriteReport()
@@ -67,8 +95,8 @@ class TestRewriteRule1:
             plan, lazy_db.database, lazy_db.config, uris, report,
             push_selections=True,
         )
-        accesses = find_nodes(rewritten, algebra.ChunkAccess)
-        assert all(a.pushed_predicate is predicate for a in accesses)
+        assert isinstance(rewritten, algebra.ParallelChunkScan)
+        assert rewritten.pushed_predicate is predicate
 
     def test_selection_stays_above_without_push(self, lazy_db, scan_d, uris):
         predicate = Comparison(">", col("D.sample_value"), lit(0))
@@ -79,22 +107,8 @@ class TestRewriteRule1:
             push_selections=False,
         )
         assert isinstance(rewritten, algebra.Select)
-        accesses = find_nodes(rewritten, algebra.ChunkAccess)
-        assert all(a.pushed_predicate is None for a in accesses)
-
-    def test_selection_above_cache_scan(self, lazy_db, scan_d, uris):
-        table, cost = lazy_db.database.load_chunk(uris[0], "D")
-        lazy_db.database.recycler.put(uris[0], table, cost)
-        predicate = Comparison(">", col("D.sample_value"), lit(0))
-        plan = algebra.Select(scan_d, predicate)
-        report = RewriteReport()
-        rewritten = rewrite_actual_scans(
-            plan, lazy_db.database, lazy_db.config, [uris[0]], report
-        )
-        # σp(cache-scan(f)) — the selection sits above the cache scan.
-        child = rewritten.children()[0]
-        assert isinstance(child, algebra.Select)
-        assert isinstance(child.child, algebra.CacheScan)
+        assert isinstance(rewritten.child, algebra.ParallelChunkScan)
+        assert rewritten.child.pushed_predicate is None
 
     def test_empty_uri_list_keeps_scan(self, lazy_db, scan_d):
         report = RewriteReport()
@@ -123,26 +137,14 @@ class TestRewriteRule1:
         assert rewritten.io_threads == 4
         assert report.rewrote_scans == 1
 
-    def test_parallel_rewrite_pushes_selection(self, lazy_db, scan_d, uris):
-        predicate = Comparison(">", col("D.sample_value"), lit(0))
-        plan = algebra.Select(scan_d, predicate)
-        report = RewriteReport()
-        rewritten = rewrite_actual_scans(
-            plan, lazy_db.database, lazy_db.config, uris, report,
-            push_selections=True, io_threads=4,
-        )
-        assert isinstance(rewritten, algebra.ParallelChunkScan)
-        assert rewritten.pushed_predicate is predicate
-
-    def test_parallel_rewrite_single_chunk_stays_serial(
-        self, lazy_db, scan_d, uris
-    ):
+    def test_single_chunk_uses_same_scheduler(self, lazy_db, scan_d, uris):
         report = RewriteReport()
         rewritten = rewrite_actual_scans(
             scan_d, lazy_db.database, lazy_db.config, uris[:1], report,
             io_threads=4,
         )
-        assert isinstance(rewritten, algebra.Union)
+        assert isinstance(rewritten, algebra.ParallelChunkScan)
+        assert len(rewritten.plan.chunks) == 1
 
     def test_rewrite_inside_join(self, lazy_db, scan_d, uris):
         scan_s = algebra.Scan("S", lazy_db.database.qualified_schema("S"))
@@ -154,4 +156,116 @@ class TestRewriteRule1:
             join, lazy_db.database, lazy_db.config, uris, report
         )
         assert isinstance(rewritten, algebra.Join)
-        assert isinstance(rewritten.right, algebra.Union)
+        assert isinstance(rewritten.right, algebra.ParallelChunkScan)
+
+
+class TestInSituUnionShape:
+    """The in-situ strategy keeps the paper's per-chunk union rewrite."""
+
+    @pytest.fixture()
+    def in_situ_db(self, lazy_db):
+        lazy_db.database.chunk_access_strategy = "in_situ"
+        return lazy_db
+
+    def test_scan_becomes_union_of_chunk_accesses(
+        self, in_situ_db, scan_d, uris
+    ):
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            scan_d, in_situ_db.database, in_situ_db.config, uris, report
+        )
+        assert isinstance(rewritten, algebra.Union)
+        assert len(find_nodes(rewritten, algebra.ChunkAccess)) == 3
+        assert len(find_nodes(rewritten, algebra.CacheScan)) == 0
+
+    def test_cached_chunks_become_cache_scans(self, in_situ_db, scan_d, uris):
+        table, cost = in_situ_db.database.load_chunk(uris[0], "D")
+        in_situ_db.database.recycler.put(uris[0], table, cost)
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            scan_d, in_situ_db.database, in_situ_db.config, uris, report
+        )
+        assert len(find_nodes(rewritten, algebra.CacheScan)) == 1
+        assert len(find_nodes(rewritten, algebra.ChunkAccess)) == 2
+
+    def test_selection_above_cache_scan(self, in_situ_db, scan_d, uris):
+        table, cost = in_situ_db.database.load_chunk(uris[0], "D")
+        in_situ_db.database.recycler.put(uris[0], table, cost)
+        predicate = Comparison(">", col("D.sample_value"), lit(0))
+        plan = algebra.Select(scan_d, predicate)
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            plan, in_situ_db.database, in_situ_db.config, [uris[0]], report
+        )
+        # σp(cache-scan(f)) — the selection sits above the cache scan.
+        child = rewritten.children()[0]
+        assert isinstance(child, algebra.Select)
+        assert isinstance(child.child, algebra.CacheScan)
+
+
+class TestStatisticsPruning:
+    def test_value_predicate_prunes_enriched_chunks(
+        self, lazy_db, scan_d, uris
+    ):
+        # Enrich one chunk's statistics via a decode; its max sample value
+        # bounds what any predicate can demand of it.
+        table, cost = lazy_db.database.load_chunk(uris[0], "D")
+        stats = lazy_db.database.chunk_stats.get(uris[0])
+        assert stats is not None and stats.enriched
+        _, high = stats.ranges["D.sample_value"]
+        predicate = Comparison(">", col("D.sample_value"), lit(int(high) + 1))
+        plan = algebra.Select(scan_d, predicate)
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            plan, lazy_db.database, lazy_db.config, uris, report
+        )
+        assert uris[0] in report.pruned_uris
+        assert uris[0] not in rewritten.uris
+
+    def test_unenriched_chunks_never_value_pruned(self, lazy_db, scan_d, uris):
+        predicate = Comparison(">", col("D.sample_value"), lit(10**9))
+        plan = algebra.Select(scan_d, predicate)
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            plan, lazy_db.database, lazy_db.config, uris, report
+        )
+        # Registration-time stats know nothing about sample values.
+        assert report.pruned_uris == []
+        assert list(rewritten.uris) == uris
+
+    def test_time_predicate_prunes_from_registration_stats(
+        self, lazy_db, scan_d, uris
+    ):
+        # No decode needed: header-derived time spans are true bounds.
+        predicate = Comparison("<", col("D.sample_time"), lit(0))
+        plan = algebra.Select(scan_d, predicate)
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            plan, lazy_db.database, lazy_db.config, uris, report
+        )
+        assert sorted(report.pruned_uris) == sorted(uris)
+        assert rewritten.uris == ()
+
+    def test_pruning_disabled_keeps_everything(self, lazy_db, scan_d, uris):
+        predicate = Comparison("<", col("D.sample_time"), lit(0))
+        plan = algebra.Select(scan_d, predicate)
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            plan, lazy_db.database, lazy_db.config, uris, report,
+            prune_chunks=False,
+        )
+        assert report.pruned_uris == []
+        assert list(rewritten.uris) == uris
+
+    def test_pruning_safe_without_push(self, lazy_db, scan_d, uris):
+        # The planner sees the full selection even when it is not pushed:
+        # the Select above still filters, so pruning stays correct.
+        predicate = Comparison("<", col("D.sample_time"), lit(0))
+        plan = algebra.Select(scan_d, predicate)
+        report = RewriteReport()
+        rewritten = rewrite_actual_scans(
+            plan, lazy_db.database, lazy_db.config, uris, report,
+            push_selections=False,
+        )
+        assert isinstance(rewritten, algebra.Select)
+        assert sorted(report.pruned_uris) == sorted(uris)

@@ -1,0 +1,236 @@
+"""Chunk planner unit tests: pruning rules, tier costs, fetch scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.engine.chunk_planner import (
+    ChunkPlan,
+    ChunkPlanner,
+    TIER_REMOTE,
+    TIER_RESIDENT,
+    TIER_SPILLED,
+    TIER_UNPLANNED,
+)
+from repro.engine.column import Column
+from repro.engine.database import Database
+from repro.engine.expressions import BooleanOp, Comparison, col, lit
+from repro.engine.predicates import (
+    closed_int_bounds,
+    extract_time_bounds,
+    literal_bounds_by_column,
+    range_may_satisfy,
+)
+from repro.engine.table import Schema, Table
+from repro.engine.types import INT64, TIMESTAMP
+
+
+def make_chunk(values, times) -> Table:
+    schema = Schema.of(("D.sample_time", TIMESTAMP), ("D.sample_value", INT64))
+    return Table(
+        schema,
+        [
+            Column(TIMESTAMP, np.asarray(times, dtype=np.int64)),
+            Column(INT64, np.asarray(values, dtype=np.int64)),
+        ],
+    )
+
+
+@pytest.fixture()
+def database(tmp_path):
+    db = Database(workdir=str(tmp_path / "db"))
+    yield db
+    db.close()
+
+
+class TestPredicateHelpers:
+    def test_range_may_satisfy_matrix(self):
+        assert range_may_satisfy(">", 5, 0, 10)
+        assert not range_may_satisfy(">", 10, 0, 10)
+        assert range_may_satisfy(">=", 10, 0, 10)
+        assert not range_may_satisfy(">=", 11, 0, 10)
+        assert range_may_satisfy("<", 1, 0, 10)
+        assert not range_may_satisfy("<", 0, 0, 10)
+        assert range_may_satisfy("<=", 0, 0, 10)
+        assert not range_may_satisfy("<=", -1, 0, 10)
+        assert range_may_satisfy("=", 10, 0, 10)
+        assert not range_may_satisfy("=", 11, 0, 10)
+        # Non-numeric and unknown operators never prune.
+        assert range_may_satisfy(">", "text", 0, 10)
+        assert range_may_satisfy("<>", 5, 0, 10)
+
+    def test_literal_bounds_by_column_both_orientations(self):
+        predicate = BooleanOp(
+            "AND",
+            [
+                Comparison(">=", col("D.sample_time"), lit(100)),
+                Comparison(">", lit(200), col("D.sample_time")),
+                Comparison("=", col("D.file_id"), lit(7)),
+                Comparison("=", col("D.file_id"), col("S.file_id")),
+            ],
+        )
+        bounds = literal_bounds_by_column(predicate)
+        assert bounds["D.sample_time"] == [(">=", 100), ("<", 200)]
+        assert bounds["D.file_id"] == [("=", 7)]
+        assert literal_bounds_by_column(None) == {}
+
+    def test_extract_time_bounds_half_open(self):
+        predicate = BooleanOp(
+            "AND",
+            [
+                Comparison(">", col("t"), lit(9)),
+                Comparison("<=", col("t"), lit(20)),
+            ],
+        )
+        assert extract_time_bounds(predicate, "t") == (10, 21)
+        assert extract_time_bounds(predicate, "other") is None
+
+    def test_closed_int_bounds(self):
+        assert closed_int_bounds([(">", 9), ("<", 20)]) == (10, 19)
+        assert closed_int_bounds([("=", 5)]) == (5, 5)
+        assert closed_int_bounds([(">", 2.5)]) == (None, None)  # floats skip
+
+
+class TestPruning:
+    def test_value_bounds_prune_only_enriched(self, database):
+        database.chunk_stats.observe_table("a", make_chunk([0, 50], [0, 1]))
+        database.chunk_stats.record_registration(
+            "b", {"D.sample_time": (0.0, 1.0)}
+        )
+        predicate = Comparison(">", col("D.sample_value"), lit(100))
+        plan = database.chunk_planner.plan(["a", "b"], "D", predicate)
+        assert [p.uri for p in plan.pruned] == ["a"]
+        assert plan.uris == ("b",)
+        assert plan.pruned[0].reason == "D.sample_value"
+
+    def test_no_stats_no_pruning(self, database):
+        predicate = Comparison(">", col("D.sample_value"), lit(10**12))
+        plan = database.chunk_planner.plan(["x", "y"], "D", predicate)
+        assert plan.pruned == ()
+        assert plan.uris == ("x", "y")
+
+    def test_prune_flag_off(self, database):
+        database.chunk_stats.observe_table("a", make_chunk([0], [0]))
+        predicate = Comparison(">", col("D.sample_value"), lit(100))
+        plan = database.chunk_planner.plan(["a"], "D", predicate, prune=False)
+        assert plan.pruned == ()
+
+    def test_equality_bound_prunes_disjoint_file_ids(self, database):
+        database.chunk_stats.record_registration(
+            "f0", {"D.file_id": (0.0, 0.0)}
+        )
+        database.chunk_stats.record_registration(
+            "f1", {"D.file_id": (1.0, 1.0)}
+        )
+        predicate = Comparison("=", col("D.file_id"), lit(1))
+        plan = database.chunk_planner.plan(["f0", "f1"], "D", predicate)
+        assert plan.uris == ("f1",)
+
+    def test_segment_zone_gap_prunes_chunk(self, database):
+        from repro.engine.indexes import ZoneMap
+
+        zones = ZoneMap("D.sample_time")
+        zones.add_zone(0, 0, 99)
+        zones.add_zone(1, 200, 299)
+        database.chunk_stats.record_registration(
+            "gappy", {"D.sample_time": (0.0, 299.0)}, segment_zones=zones
+        )
+        inside_gap = BooleanOp(
+            "AND",
+            [
+                Comparison(">=", col("D.sample_time"), lit(120)),
+                Comparison("<", col("D.sample_time"), lit(180)),
+            ],
+        )
+        plan = database.chunk_planner.plan(["gappy"], "D", inside_gap)
+        assert [p.uri for p in plan.pruned] == ["gappy"]
+        assert "segment zones" in plan.pruned[0].reason
+        # A window overlapping a real segment keeps the chunk.
+        overlapping = Comparison(">=", col("D.sample_time"), lit(250))
+        plan = database.chunk_planner.plan(["gappy"], "D", overlapping)
+        assert plan.uris == ("gappy",)
+
+    def test_planner_counters_accumulate(self, database):
+        database.chunk_stats.observe_table("a", make_chunk([0], [0]))
+        predicate = Comparison(">", col("D.sample_value"), lit(100))
+        database.chunk_planner.plan(["a", "b"], "D", predicate)
+        snapshot = database.chunk_planner.stats_snapshot()
+        assert snapshot["plans_built"] == 1
+        assert snapshot["chunks_considered"] == 2
+        assert snapshot["chunks_pruned"] == 1
+        assert snapshot["chunks_scheduled"] == 1
+
+
+class TestTiersAndSchedule:
+    def test_tier_classification_and_cost_order(self, database):
+        chunk = make_chunk([1, 2, 3], [10, 20, 30])
+        # resident: in the recycler's memory tier
+        database.recycler.put("resident", chunk, 0.01)
+        # spilled: only in the on-disk store
+        database.chunk_store.put("spilled", chunk, 0.01)
+        plan = database.chunk_planner.plan(
+            ["remote", "resident", "spilled"], "D", None
+        )
+        by_uri = {c.uri: c for c in plan.chunks}
+        assert by_uri["resident"].tier == TIER_RESIDENT
+        assert by_uri["spilled"].tier == TIER_SPILLED
+        assert by_uri["remote"].tier == TIER_REMOTE
+        assert (
+            by_uri["resident"].cost_seconds
+            < by_uri["spilled"].cost_seconds
+            < by_uri["remote"].cost_seconds
+        )
+        # Fetch schedule: most expensive first, assembly order preserved.
+        scheduled = [plan.chunks[i].uri for i in plan.fetch_order]
+        assert scheduled == ["remote", "spilled", "resident"]
+        assert plan.uris == ("remote", "resident", "spilled")
+
+    def test_remote_cost_includes_modeled_fetch_latency(self, database):
+        class Loader:
+            io_delay_ms = 50.0
+
+            def load(self, uri, table_name):  # pragma: no cover
+                raise AssertionError("planning must not load")
+
+        database.chunk_loader = Loader()
+        plan = database.chunk_planner.plan(["remote"], "D", None)
+        assert plan.chunks[0].cost_seconds >= 0.05
+
+    def test_observed_decode_cost_feeds_estimates(self, database):
+        database.chunk_stats.observe_table(
+            "seen", make_chunk([1], [1]), loading_cost=0.25
+        )
+        # Un-observed chunks inherit the average observed cost.
+        plan = database.chunk_planner.plan(["seen", "unseen"], "D", None)
+        by_uri = {c.uri: c for c in plan.chunks}
+        assert by_uri["seen"].cost_seconds == pytest.approx(0.25)
+        assert by_uri["unseen"].cost_seconds == pytest.approx(0.25)
+
+    def test_schedule_deterministic_on_ties(self, database):
+        plan = database.chunk_planner.plan(["a", "b", "c"], "D", None)
+        assert plan.fetch_order == (0, 1, 2)
+
+
+class TestChunkPlanObject:
+    def test_trivial_wrapper(self):
+        plan = ChunkPlan.trivial(["u1", "u2"], "D")
+        assert plan.uris == ("u1", "u2")
+        assert plan.fetch_order == (0, 1)
+        assert all(c.tier == TIER_UNPLANNED for c in plan.chunks)
+
+    def test_describe_lists_schedule_and_pruned(self, database):
+        database.chunk_stats.observe_table("a", make_chunk([0], [0]))
+        predicate = Comparison(">", col("D.sample_value"), lit(100))
+        plan = database.chunk_planner.plan(["a", "b"], "D", predicate)
+        rendered = plan.describe()
+        assert "1 to fetch, 1 pruned" in rendered
+        assert "pruned (D.sample_value)" in rendered
+
+    def test_parallel_chunk_scan_accepts_plan_and_lists(self, database):
+        from repro.engine import algebra
+        from repro.engine.table import Schema
+
+        plan = database.chunk_planner.plan(["u1", "u2"], "D", None)
+        node = algebra.ParallelChunkScan(plan, "D", Schema([]))
+        assert node.uris == ("u1", "u2")
+        legacy = algebra.ParallelChunkScan(["u1"], "D", Schema([]))
+        assert legacy.plan.chunks[0].tier == TIER_UNPLANNED

@@ -1,0 +1,283 @@
+"""Chunk statistics: catalog semantics, ZoneMap sub-chunk skipping, and
+stats-sidecar round-trips through the ChunkStore crash-safety paths."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine.chunk_stats import (
+    ChunkStats,
+    ChunkStatsCatalog,
+    compute_column_ranges,
+)
+from repro.engine.chunk_store import MANIFEST_NAME, ChunkStore
+from repro.engine.column import Column
+from repro.engine.indexes import ZoneMap
+from repro.engine.table import Schema, Table
+from repro.engine.types import INT64, STRING, TIMESTAMP
+from repro.mseed import reader
+
+
+def make_table(values, times, stations=None) -> Table:
+    fields = [("D.sample_time", TIMESTAMP), ("D.sample_value", INT64)]
+    columns = [
+        Column(TIMESTAMP, np.asarray(times, dtype=np.int64)),
+        Column(INT64, np.asarray(values, dtype=np.int64)),
+    ]
+    if stations is not None:
+        fields.append(("D.station", STRING))
+        columns.append(Column.from_values(STRING, stations))
+    return Table(Schema.of(*fields), columns)
+
+
+class TestComputeRanges:
+    def test_exact_min_max_per_numeric_column(self):
+        table = make_table([5, -3, 12], [100, 200, 300])
+        ranges = compute_column_ranges(table)
+        assert ranges["D.sample_value"] == (-3.0, 12.0)
+        assert ranges["D.sample_time"] == (100.0, 300.0)
+
+    def test_string_and_hidden_columns_skipped(self):
+        table = make_table([1], [2], stations=["ISK"])
+        ranges = compute_column_ranges(table)
+        assert "D.station" not in ranges
+        assert set(ranges) == {"D.sample_time", "D.sample_value"}
+
+    def test_empty_table_yields_no_ranges(self):
+        table = make_table([], [])
+        assert compute_column_ranges(table) == {}
+
+
+class TestCatalog:
+    def test_registration_then_enrichment(self):
+        catalog = ChunkStatsCatalog()
+        catalog.record_registration(
+            "u", {"D.sample_time": (0.0, 99.0)}, num_rows=10
+        )
+        entry = catalog.get("u")
+        assert not entry.enriched
+        assert "D.sample_value" not in entry.ranges
+        catalog.observe_table("u", make_table([7, -7], [5, 50]), 0.01)
+        entry = catalog.get("u")
+        assert entry.enriched
+        assert entry.ranges["D.sample_value"] == (-7.0, 7.0)
+        assert entry.loading_cost == 0.01
+
+    def test_enrichment_is_idempotent_and_sticky(self):
+        catalog = ChunkStatsCatalog()
+        catalog.observe_table("u", make_table([1], [1]), 0.5)
+        assert not catalog.observe_table("u", make_table([999], [999]))
+        # Re-registration must not downgrade decode-derived truth.
+        catalog.record_registration("u", {"D.sample_time": (0.0, 1.0)})
+        assert catalog.get("u").enriched
+        assert catalog.get("u").ranges["D.sample_value"] == (1.0, 1.0)
+
+    def test_json_round_trip(self):
+        catalog = ChunkStatsCatalog()
+        zones = ZoneMap("D.sample_time")
+        zones.add_zone(0, 0, 4)
+        zones.add_zone(1, 8, 10)
+        catalog.record_registration(
+            "a", {"D.sample_time": (0.0, 10.0)}, segment_zones=zones
+        )
+        catalog.observe_table("b", make_table([3, 4], [7, 8]), 0.2)
+        payload = json.loads(json.dumps(catalog.to_json()))
+        restored = ChunkStatsCatalog()
+        assert restored.load_json(payload) == 2
+        assert restored.get("a").ranges == {"D.sample_time": (0.0, 10.0)}
+        assert restored.get("b").enriched
+        assert restored.get("b").loading_cost == 0.2
+        # Zone maps survive the checkpoint: gap pruning works after reopen.
+        restored_zones = restored.get("a").segment_zones
+        assert restored_zones is not None
+        assert restored_zones.attribute == "D.sample_time"
+        assert restored_zones.prune_range(5, 7) == []
+        assert restored_zones.prune_range(3, 9) == [0, 1]
+        # The running decode-cost average restores with the entries.
+        assert restored.average_loading_cost() == pytest.approx(0.2)
+
+    def test_average_loading_cost_tracks_mutations(self):
+        catalog = ChunkStatsCatalog()
+        assert catalog.average_loading_cost() is None
+        catalog.observe_table("a", make_table([1], [1]), 0.1)
+        catalog.observe_table("b", make_table([2], [2]), 0.3)
+        assert catalog.average_loading_cost() == pytest.approx(0.2)
+        catalog.adopt_persisted("c", {"D.sample_value": (0.0, 1.0)},
+                                loading_cost=0.5)
+        assert catalog.average_loading_cost() == pytest.approx(0.3)
+        catalog.clear()
+        assert catalog.average_loading_cost() is None
+
+    def test_malformed_checkpoint_entries_skipped(self):
+        restored = ChunkStatsCatalog()
+        assert restored.load_json("garbage") == 0
+        assert (
+            restored.load_json(
+                [
+                    {"uri": "ok", "ranges": {"c": [1, 2]}},
+                    {"uri": "bad", "ranges": {"c": [2, 1]}},  # min > max
+                    {"ranges": {}},  # no uri
+                    {"uri": "bad2", "ranges": {"c": ["x", "y"]}},
+                    "not-a-dict",
+                ]
+            )
+            == 1
+        )
+        assert restored.get("ok") is not None
+        assert restored.get("bad") is None
+
+    def test_from_json_rejects_partial(self):
+        assert ChunkStats.from_json({"uri": "u"}) is None
+        assert ChunkStats.from_json({"uri": "u", "ranges": 3}) is None
+
+    def test_parse_ranges_rejects_nan_bounds(self):
+        from repro.engine.chunk_stats import parse_ranges
+
+        assert parse_ranges({"c": [0.0, float("nan")]}) is None
+        assert parse_ranges({"c": [0.0, 1.0]}) == {"c": (0.0, 1.0)}
+
+    def test_nan_columns_get_no_ranges(self):
+        from repro.engine.column import Column as Col
+        from repro.engine.types import FLOAT64
+
+        table = Table(
+            Schema.of(("D.sample_value", INT64), ("D.weight", FLOAT64)),
+            [
+                Column(INT64, np.asarray([1, 2], dtype=np.int64)),
+                Col(FLOAT64, np.asarray([np.nan, 1.0])),
+            ],
+        )
+        ranges = compute_column_ranges(table)
+        assert "D.weight" not in ranges  # NaN extrema would mis-prune
+        assert ranges["D.sample_value"] == (1.0, 2.0)
+
+
+class TestZoneMapSegmentSkipping:
+    """Sub-chunk granularity: per-segment zones skip inter-segment gaps."""
+
+    def test_zone_pruning_matches_in_situ_reader(self, tiny_repo):
+        repository, _ = tiny_repo
+        uri = repository.list_chunks()[0].uri
+        meta = reader.read_metadata(uri)
+        zones = ZoneMap("D.sample_time")
+        for segment in meta.segments:
+            zones.add_zone(
+                segment.segment_no,
+                segment.start_time_ms,
+                segment.end_time_ms - 1,
+            )
+        assert len(zones) == len(meta.segments)
+        # A window covering only the second segment must keep exactly the
+        # segments the in-situ reader would decode.
+        target = meta.segments[1]
+        low = target.start_time_ms
+        high = target.end_time_ms - 1
+        kept = set(zones.prune_range(low, high))
+        decoded = {
+            s.header.segment_no
+            for s in reader.read_samples_in_range(uri, low, high + 1)
+        }
+        assert decoded == kept
+
+    def test_gap_window_skips_every_segment(self, tiny_repo):
+        repository, _ = tiny_repo
+        uri = repository.list_chunks()[0].uri
+        meta = reader.read_metadata(uri)
+        zones = ZoneMap("D.sample_time")
+        gap = None
+        previous_end = None
+        for segment in meta.segments:
+            zones.add_zone(
+                segment.segment_no,
+                segment.start_time_ms,
+                segment.end_time_ms - 1,
+            )
+            if previous_end is not None and segment.start_time_ms > previous_end:
+                gap = (previous_end, segment.start_time_ms - 1)
+            previous_end = segment.end_time_ms
+        if gap is None:  # the synthetic split left no gap in this chunk
+            return
+        assert zones.prune_range(gap[0], gap[1]) == []
+        assert reader.read_samples_in_range(uri, gap[0], gap[1] + 1) == []
+
+    def test_registrar_installs_zones_and_ranges(self, lazy_db, tiny_repo):
+        repository, _ = tiny_repo
+        uri = repository.list_chunks()[0].uri
+        stats = lazy_db.database.chunk_stats.get(uri)
+        assert stats is not None and not stats.enriched
+        assert stats.segment_zones is not None
+        assert stats.segment_zones.attribute == "D.sample_time"
+        assert len(stats.segment_zones) > 0
+        assert set(stats.ranges) == {
+            "D.sample_time", "D.file_id", "D.segment_no",
+        }
+        low, high = stats.ranges["D.file_id"]
+        assert low == high  # one file id per chunk
+
+
+class TestStoreStatsSidecar:
+    def test_sidecar_round_trip(self, tmp_path):
+        store = ChunkStore(str(tmp_path))
+        store.put("u", make_table([5, -2, 9], [10, 20, 30]), 0.05)
+        ranges = store.get_stats("u")
+        assert ranges["D.sample_value"] == (-2.0, 9.0)
+        assert ranges["D.sample_time"] == (10.0, 30.0)
+
+    def test_absent_entry_has_no_stats(self, tmp_path):
+        store = ChunkStore(str(tmp_path))
+        assert store.get_stats("missing") is None
+
+    def test_corrupt_sidecar_treated_as_absent_chunk_still_readable(
+        self, tmp_path
+    ):
+        store = ChunkStore(str(tmp_path))
+        store.put("u", make_table([1, 2], [3, 4]), 0.05)
+        manifest_path = os.path.join(store._entry_dir("u"), MANIFEST_NAME)
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        manifest["stats"] = {"D.sample_value": ["broken", None]}
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        assert store.get_stats("u") is None  # absent, never wrong
+        loaded = store.get("u")  # the chunk itself stays readable
+        assert loaded is not None
+        assert loaded[0].num_rows == 2
+
+    def test_inverted_sidecar_range_rejected(self, tmp_path):
+        store = ChunkStore(str(tmp_path))
+        store.put("u", make_table([1], [1]), 0.05)
+        manifest_path = os.path.join(store._entry_dir("u"), MANIFEST_NAME)
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        manifest["stats"] = {"D.sample_value": [9.0, 1.0]}
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        assert store.get_stats("u") is None
+
+    def test_truncated_manifest_kills_entry_and_stats(self, tmp_path):
+        store = ChunkStore(str(tmp_path))
+        store.put("u", make_table([1], [1]), 0.05)
+        manifest_path = os.path.join(store._entry_dir("u"), MANIFEST_NAME)
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            handle.write(text[: len(text) // 2])  # crash mid-write
+        assert store.get_stats("u") is None
+        assert store.get("u") is None
+
+    def test_adopt_store_stats_after_restart(self, tmp_path):
+        from repro.engine.database import Database
+
+        workdir = str(tmp_path / "db")
+        first = Database(workdir=workdir)
+        first.chunk_store.put("u", make_table([4, 8], [1, 2]), 0.03)
+        first.close()
+        second = Database(workdir=workdir)
+        assert second.adopt_store_stats() == 1
+        entry = second.chunk_stats.get("u")
+        assert entry.enriched
+        assert entry.ranges["D.sample_value"] == (4.0, 8.0)
+        assert entry.loading_cost == 0.03
+        second.close()
