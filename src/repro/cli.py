@@ -99,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--clients", type=int, default=1,
         help="run the query from N concurrent sessions and report throughput",
     )
+    query.add_argument(
+        "--result-cache", action="store_true",
+        help="enable the semantic result recycler (repeats and subsumed "
+        "queries are served without re-executing)",
+    )
 
     explain = commands.add_parser(
         "explain",
@@ -142,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--executor", default=None, choices=("thread", "process"),
         help="stage-two decode executor",
+    )
+    cache.add_argument(
+        "--result-cache", action="store_true",
+        help="enable the semantic result recycler and report its counters",
     )
 
     bench = commands.add_parser(
@@ -210,6 +219,8 @@ def _command_query(args: argparse.Namespace) -> int:
         option_kwargs["io_threads"] = args.io_threads
     if args.executor is not None:
         option_kwargs["executor"] = args.executor
+    if args.result_cache:
+        option_kwargs["result_cache"] = True
     options = TwoStageOptions(**option_kwargs) if option_kwargs else None
     db, report = prepare(args.approach, repository, options=options)
     try:
@@ -227,10 +238,15 @@ def _command_query(args: argparse.Namespace) -> int:
             print(row)
         if result.table.num_rows > args.limit:
             print(f"... {result.table.num_rows - args.limit} more rows")
+        served = (
+            f", served from result cache ({result.result_cache})"
+            if result.result_cache
+            else ""
+        )
         print(
             f"[{result.seconds * 1000:.1f}ms, "
             f"{result.stats.chunks_loaded} chunk(s) loaded, "
-            f"{result.stats.chunks_from_cache} from cache]"
+            f"{result.stats.chunks_from_cache} from cache{served}]"
         )
         return 0
     finally:
@@ -274,6 +290,8 @@ def _command_cache(args: argparse.Namespace) -> int:
         option_kwargs["io_threads"] = args.io_threads
     if args.executor is not None:
         option_kwargs["executor"] = args.executor
+    if args.result_cache:
+        option_kwargs["result_cache"] = True
     options = TwoStageOptions(**option_kwargs) if option_kwargs else None
 
     checkpoint = (

@@ -71,6 +71,7 @@ class WorkloadPrefetcher:
         table_name: str = "D",
         depth: int = 2,
         io_threads: int = 2,
+        max_warmed: int = 1024,
     ) -> None:
         self.database = database
         self.table_name = table_name
@@ -83,7 +84,12 @@ class WorkloadPrefetcher:
         # histories are evicted once the cap is reached.
         self._sessions: "OrderedDict[int, _SessionHistory]" = OrderedDict()
         self._max_sessions = 512
-        self._warmed: set[str] = set()
+        # Warmed-URI bookkeeping, LRU-bounded like the session map: a URI
+        # that is warmed but then planner-pruned by every later query
+        # would otherwise sit in the set forever in a long-running server.
+        # Values are unused; OrderedDict is the insertion-ordered LRU.
+        self._warmed: "OrderedDict[str, None]" = OrderedDict()
+        self._max_warmed = max(1, max_warmed)
         self._inflight: set[str] = set()
         self._futures: list[Future] = []
         # uri -> (successor uri, own start time, group key); rebuilt when
@@ -113,6 +119,13 @@ class WorkloadPrefetcher:
         warm in the cache is neither a hit nor forgotten.  Callers without
         a plan (tests, ad-hoc use) omit both and get a live recycler
         probe, with every non-resident chunk treated as reloaded.
+
+        Each warm counts as a hit at most once: the first query served
+        from a warmed chunk consumes its warmed status (a dashboard
+        re-reading the same resident chunk every few seconds must not
+        inflate ``stats.hits`` — the first hit is the prefetcher's
+        contribution, the rest are the recycler's).  A later re-warm of
+        the same URI earns a fresh hit.
         """
         if resident_uris is None:
             recycler = self.database.recycler
@@ -130,8 +143,9 @@ class WorkloadPrefetcher:
                     continue
                 if uri in resident:
                     hits += 1
+                    del self._warmed[uri]  # consumed: once per warm
                 elif uri in reloaded:
-                    self._warmed.discard(uri)
+                    self._warmed.pop(uri, None)
             self.stats.hits += hits
         return hits
 
@@ -287,7 +301,10 @@ class WorkloadPrefetcher:
         else:
             with self._lock:
                 self.stats.completed += 1
-                self._warmed.add(uri)
+                self._warmed[uri] = None
+                self._warmed.move_to_end(uri)
+                while len(self._warmed) > self._max_warmed:
+                    self._warmed.popitem(last=False)
         finally:
             with self._lock:
                 self._inflight.discard(uri)

@@ -32,11 +32,13 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass
 
 from ..engine import algebra
 from ..engine.database import Database
 from ..engine.errors import ExecutionError
+from ..engine.physical import ExecStats
 from ..engine.sql import bind_sql
 from ..mseed.repository import FileRepository
 from .partial_views import DerivationReport, PartialViewManager
@@ -66,12 +68,16 @@ class SommelierStats:
     derivations: int = 0
     windows_materialized: int = 0
     chunks_loaded_total: int = 0
+    result_cache_hits: int = 0
+    result_cache_subsumed: int = 0
 
     def merge(self, other: "SommelierStats") -> None:
         self.queries_executed += other.queries_executed
         self.derivations += other.derivations
         self.windows_materialized += other.windows_materialized
         self.chunks_loaded_total += other.chunks_loaded_total
+        self.result_cache_hits += other.result_cache_hits
+        self.result_cache_subsumed += other.result_cache_subsumed
 
     @classmethod
     def delta_from(
@@ -88,6 +94,8 @@ class SommelierStats:
             delta.windows_materialized = derivation.windows_inserted
             delta.chunks_loaded_total = derivation.chunks_loaded
         delta.chunks_loaded_total += result.stats.chunks_loaded
+        delta.result_cache_hits = result.stats.results_from_cache
+        delta.result_cache_subsumed = result.stats.results_subsumed
         return delta
 
 
@@ -127,6 +135,14 @@ class SommelierDB:
                 table_name=config.actual_tables[0],
                 depth=self.options.prefetch_depth,
             )
+        # Semantic result recycler (opt-in): caches delivered results by
+        # normalized plan fingerprint and serves repeats/subsumed queries
+        # without touching either execution stage.
+        self.result_cache = None
+        if self.options.result_cache:
+            from .result_cache import ResultCache
+
+            self.result_cache = ResultCache(self.options.result_cache_bytes)
         self.stats = SommelierStats()
         self._stats_lock = threading.Lock()
         self._derivation_lock = threading.Lock()
@@ -269,7 +285,12 @@ class SommelierDB:
         self, repository: FileRepository, threads: int = 8
     ) -> RegistrarReport:
         """Eagerly load the given metadata of every chunk (Registrar)."""
-        return Registrar(self.database, threads=threads).register(repository)
+        report = Registrar(self.database, threads=threads).register(repository)
+        if self.result_cache is not None:
+            # New chunks can extend any cached answer: results computed
+            # before the registration are no longer trustworthy.
+            self.result_cache.invalidate_all()
+        return report
 
     # -- querying ------------------------------------------------------------------
 
@@ -301,10 +322,49 @@ class SommelierDB:
         # execution afterwards is lock-free).
         with self._derivation_lock:
             derivation = self.views.ensure_for_query(plan)
+        normalized = None
+        generation = 0
+        if self.result_cache is not None:
+            if derivation.windows_inserted:
+                # H just changed: cached answers that read derived
+                # metadata may be stale.  (The repeat of *this* query is
+                # unaffected — its own windows are now materialized, so
+                # the next derivation inserts nothing.)
+                self.result_cache.invalidate_tables(self.config.derived_tables)
+            from .result_cache import normalize_plan
+
+            started = time.perf_counter()
+            # Captured before executing: if any invalidation lands while
+            # the query runs, admit() below must reject the (potentially
+            # stale) result instead of resurrecting it.
+            generation = self.result_cache.generation
+            normalized = normalize_plan(plan)
+            served = self.result_cache.serve(normalized)
+            if served is not None:
+                table, outcome = served
+                stats = ExecStats()
+                if outcome == "exact":
+                    stats.results_from_cache = 1
+                else:
+                    stats.results_subsumed = 1
+                result = QueryResult(
+                    table=table,
+                    seconds=time.perf_counter() - started,
+                    stats=stats,
+                    result_cache=outcome,
+                )
+                self._account(result, derivation)
+                result.seconds += derivation.seconds
+                return result, derivation
         if self.lazy:
             result = self.compiler.execute_two_stage(plan)
         else:
             result = self.compiler.execute_single_stage(plan)
+        if self.result_cache is not None and normalized is not None:
+            self.result_cache.admit(
+                normalized, result.table, result.seconds,
+                generation=generation,
+            )
         if self.prefetcher is not None and result.rewrite.required_uris:
             # Count which of this query's chunks an earlier prefetch had
             # warmed (plan-time residency — the query itself re-warms
@@ -418,6 +478,8 @@ class SommelierDB:
         }
         if self.prefetcher is not None:
             stats["prefetch"] = self.prefetcher.stats_snapshot()
+        if self.result_cache is not None:
+            stats["result_cache"] = self.result_cache.stats_snapshot()
         return stats
 
     def drop_caches(self) -> None:
@@ -435,6 +497,9 @@ class SommelierDB:
         self.views = PartialViewManager(
             self.database, self.config, self.compiler, self.lazy
         )
+        if self.result_cache is not None:
+            # Entries that read H answered against the truncated state.
+            self.result_cache.invalidate_tables(self.config.derived_tables)
 
     @property
     def closed(self) -> bool:

@@ -76,6 +76,13 @@ class TwoStageOptions:
     each query it predicts the session's next chunks from its query
     history and warms the recycler asynchronously; ``prefetch_depth`` caps
     how far ahead it reaches.
+
+    ``result_cache`` enables the facade-level semantic result recycler
+    (:mod:`repro.core.result_cache`): finished query results are cached by
+    normalized plan fingerprint, exact repeats skip both stages, and a
+    cached result whose bounds cover a new query answers it by
+    re-filtering; ``result_cache_bytes`` is its budget.  Off by default —
+    the experiments that measure stage costs must re-execute.
     """
 
     EXECUTORS = ("thread", "process")
@@ -89,6 +96,8 @@ class TwoStageOptions:
     prune_chunks: bool = True
     prefetch: bool = False
     prefetch_depth: int = 2
+    result_cache: bool = False
+    result_cache_bytes: int = 256 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.executor not in self.EXECUTORS:
@@ -116,6 +125,9 @@ class QueryResult:
     rewrite: RewriteReport = field(default_factory=RewriteReport)
     join_order: list[str] = field(default_factory=list)
     two_stage: bool = False
+    # How the result recycler served this query: "exact", "subsumed", or
+    # None when it executed normally.
+    result_cache: str | None = None
 
 
 @dataclass

@@ -16,6 +16,18 @@ chunks as memory-mappable columnar files:
   entry either exists completely or not at all, and partial/corrupt
   manifests are simply ignored on open.
 
+Durability: payload files, the manifest and the staging directory are
+fsynced *before* the commit rename (and the store root after it), so a
+power loss cannot leave a "committed" entry pointing at zero-length or
+torn column files.  Defense in depth on the read side: :meth:`get`
+verifies each payload file's on-disk size against the manifest before
+decoding; a mismatch is treated as a miss and the entry is quarantined
+(moved aside, reaped at the next open), never served and never fatal.
+Opening a store also sweeps leftovers of crashed writers — orphaned
+``.tmp-*`` staging directories of dead processes, quarantined entries, and
+``*.old`` directories from an interrupted replace (restored when the crash
+lost the live entry, deleted otherwise).
+
 The store is shared between threads (all index/stat mutations are under a
 mutex) and between *processes*: writers on any process commit atomically,
 and :meth:`get` falls back to a filesystem probe for entries committed by
@@ -43,6 +55,34 @@ __all__ = ["ChunkStoreStats", "ChunkStore"]
 
 MANIFEST_NAME = "manifest.json"
 STORE_VERSION = 1
+# Directory-name suffixes of non-entry states: a replaced entry moved
+# aside mid-commit, and a torn entry moved aside by read verification.
+OLD_SUFFIX = ".old"
+QUARANTINE_SUFFIX = ".quarantine"
+
+
+def _fsync_file(handle) -> None:
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _fsync_dir(path: str) -> None:
+    """Persist a directory's entries (rename/create durability).
+
+    Best-effort: some filesystems refuse O_RDONLY fsync on directories;
+    losing the sync there degrades to the pre-durability behavior instead
+    of failing the write path.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 @dataclass
@@ -55,6 +95,8 @@ class ChunkStoreStats:
     bytes_spilled: int = 0
     bytes_rehydrated: int = 0
     invalid_entries: int = 0
+    swept_dirs: int = 0
+    restored_entries: int = 0
 
     def reset(self) -> None:
         self.spills = 0
@@ -63,6 +105,8 @@ class ChunkStoreStats:
         self.bytes_spilled = 0
         self.bytes_rehydrated = 0
         self.invalid_entries = 0
+        self.swept_dirs = 0
+        self.restored_entries = 0
 
 
 class ChunkStore:
@@ -104,10 +148,11 @@ class ChunkStore:
         return os.path.join(self.root, self._key(uri))
 
     def _scan(self) -> None:
-        """Index every committed entry; ignore temp dirs and broken ones."""
+        """Sweep crash leftovers, then index every committed entry."""
+        self._sweep()
         for name in sorted(os.listdir(self.root)):
             path = os.path.join(self.root, name)
-            if name.startswith(".tmp-") or not os.path.isdir(path):
+            if not os.path.isdir(path) or self._is_non_entry(name):
                 continue
             manifest = self._read_manifest(path)
             if manifest is None:
@@ -120,6 +165,78 @@ class ChunkStore:
             ranges = parse_ranges(manifest.get("stats"))
             if ranges is not None:
                 self._scanned_stats[manifest["uri"]] = ranges
+
+    @staticmethod
+    def _is_non_entry(name: str) -> bool:
+        return (
+            name.startswith(".tmp-")
+            or OLD_SUFFIX in name
+            or name.endswith(QUARANTINE_SUFFIX)
+        )
+
+    def _sweep(self) -> None:
+        """Garbage-collect what crashed writers left behind.
+
+        * ``.tmp-*`` staging dirs whose writing process is gone are dead
+          (live writers of other processes are left alone: their commit
+          rename is still coming);
+        * quarantined entries were torn when a reader moved them aside —
+          the chunk is re-decodable from the repository, so reap them;
+        * ``X.old`` dirs mark an interrupted replace: when ``X`` itself is
+          missing the crash hit between the two renames and the old entry
+          is the only surviving committed state — restore it; when ``X``
+          exists the replace completed and the leftover is garbage.
+        """
+        for name in sorted(os.listdir(self.root)):
+            path = os.path.join(self.root, name)
+            if not os.path.isdir(path):
+                continue
+            if name.startswith(".tmp-"):
+                if self._staging_pid_alive(name):
+                    continue
+                shutil.rmtree(path, ignore_errors=True)
+                self.stats.swept_dirs += 1
+            elif name.endswith(QUARANTINE_SUFFIX):
+                shutil.rmtree(path, ignore_errors=True)
+                self.stats.swept_dirs += 1
+            elif OLD_SUFFIX in name:
+                final = os.path.join(
+                    self.root, name[: name.index(OLD_SUFFIX)]
+                )
+                if not os.path.isdir(final) and (
+                    self._read_manifest(path) is not None
+                ):
+                    try:
+                        os.rename(path, final)
+                        self.stats.restored_entries += 1
+                        continue
+                    except OSError:
+                        pass
+                shutil.rmtree(path, ignore_errors=True)
+                self.stats.swept_dirs += 1
+
+    @staticmethod
+    def _staging_pid_alive(name: str) -> bool:
+        """Does the process that staged ``.tmp-<pid>-<n>`` still run?
+
+        Unparseable names count as dead (sweepable); a PID we may not
+        signal counts as alive (conservative — the dir is at worst kept
+        one open longer).
+        """
+        parts = name.split("-")
+        try:
+            pid = int(parts[1])
+        except (IndexError, ValueError):
+            return False
+        if pid == os.getpid():
+            return True
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except OSError:
+            return True
+        return True
 
     @staticmethod
     def _read_manifest(entry_dir: str) -> dict | None:
@@ -205,10 +322,14 @@ class ChunkStore:
     ) -> int:
         """Persist a decoded chunk; returns payload bytes written.
 
-        The write is atomic: data files and the manifest are staged in a
-        temp directory that is renamed into place as the last step.  A
-        concurrent writer of the same URI wins benignly (content for one
-        URI is identical by the loader-purity contract).
+        The write is atomic *and durable*: data files and the manifest are
+        staged in a temp directory, each fsynced as written, the staging
+        directory itself is fsynced, and only then is it renamed into
+        place (with the root directory fsynced after) — a power loss
+        either loses the whole entry or none of it, never the payload
+        bytes of a committed one.  A concurrent writer of the same URI
+        wins benignly (content for one URI is identical by the
+        loader-purity contract).
         """
         with self._lock:
             self._tmp_counter += 1
@@ -224,12 +345,16 @@ class ChunkStore:
             ):
                 filename = f"c{position}.npy"
                 file_path = os.path.join(staging, filename)
-                if fld.dtype is STRING:
-                    np.save(file_path, np.asarray(column.values, dtype=object),
-                            allow_pickle=True)
-                else:
-                    np.save(file_path, np.ascontiguousarray(column.values),
-                            allow_pickle=False)
+                with open(file_path, "wb") as handle:
+                    if fld.dtype is STRING:
+                        np.save(handle,
+                                np.asarray(column.values, dtype=object),
+                                allow_pickle=True)
+                    else:
+                        np.save(handle,
+                                np.ascontiguousarray(column.values),
+                                allow_pickle=False)
+                    _fsync_file(handle)
                 nbytes = os.path.getsize(file_path)
                 payload += nbytes
                 columns.append(
@@ -263,8 +388,11 @@ class ChunkStore:
                 os.path.join(staging, MANIFEST_NAME), "w", encoding="utf-8"
             ) as handle:
                 json.dump(manifest, handle)
+                _fsync_file(handle)
+            _fsync_dir(staging)
             final = self._entry_dir(uri)
             self._replace_dir(staging, final)
+            _fsync_dir(self.root)
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise
@@ -275,20 +403,26 @@ class ChunkStore:
             self.stats.bytes_spilled += payload
         return payload
 
-    @staticmethod
-    def _replace_dir(staging: str, final: str) -> None:
-        """Move a staged entry into place, tolerating a concurrent winner."""
+    def _replace_dir(self, staging: str, final: str) -> None:
+        """Move a staged entry into place, tolerating a concurrent winner.
+
+        A replace moves the old entry aside under a *writer-unique* name
+        and deletes it only after the new one is committed, so at every
+        instant a committed entry is reachable — as ``final``, or as the
+        ``final.old-*`` copy the open-time sweep restores if a crash hits
+        between the two renames.  Unique names mean concurrent replacers
+        of the same URI never delete each other's safety copy.
+        """
+        with self._lock:
+            self._tmp_counter += 1
+            doomed = (
+                f"{final}{OLD_SUFFIX}-{os.getpid()}-{self._tmp_counter}"
+            )
         if os.path.isdir(final):
-            # Replace: move the old entry aside first so the rename target
-            # is free; a crash in between leaves either the old or the new
-            # committed entry, never a torn one.
-            doomed = final + ".old"
-            shutil.rmtree(doomed, ignore_errors=True)
             try:
                 os.rename(final, doomed)
             except OSError:
                 pass
-            shutil.rmtree(doomed, ignore_errors=True)
         try:
             os.rename(staging, final)
         except OSError:
@@ -297,6 +431,7 @@ class ChunkStore:
             if not os.path.isdir(final):
                 raise
             shutil.rmtree(staging, ignore_errors=True)
+        shutil.rmtree(doomed, ignore_errors=True)
 
     # -- read path ---------------------------------------------------------
 
@@ -324,6 +459,8 @@ class ChunkStore:
         Falls back to a filesystem probe when the in-memory index has no
         entry — another process (a stage-two decode worker) may have
         committed it after this store object scanned the directory.
+        Entries whose payload files do not match the manifest (size or
+        row count) are quarantined, never served.
         """
         entry_dir = self._entry_dir(uri)
         manifest = self._read_manifest(entry_dir)
@@ -336,6 +473,17 @@ class ChunkStore:
             for spec in manifest["columns"]:
                 dtype = type_by_name(spec["dtype"])
                 file_path = os.path.join(entry_dir, spec["file"])
+                # Size check before decode: a torn or zero-length payload
+                # (power loss predating the fsync discipline, bit rot,
+                # manual truncation) must read as a miss, not an exception
+                # from deep inside np.load.
+                expected = int(spec.get("nbytes", -1))
+                if expected >= 0 and os.path.getsize(file_path) != expected:
+                    raise StorageError(
+                        f"chunk payload {spec['file']!r} of {uri!r} is "
+                        f"{os.path.getsize(file_path)} bytes, manifest "
+                        f"says {expected}"
+                    )
                 if dtype is STRING:
                     values = np.load(file_path, allow_pickle=True)
                     values = np.asarray(values, dtype=object)
@@ -345,11 +493,20 @@ class ChunkStore:
                 columns.append(Column(dtype, values))
                 payload += int(spec.get("nbytes", 0))
             table = Table(Schema(fields), columns)
-        except (OSError, ValueError, KeyError, StorageError):
-            with self._lock:
-                self.stats.invalid_entries += 1
+            if table.num_rows != int(manifest.get("num_rows", table.num_rows)):
+                raise StorageError(
+                    f"chunk {uri!r} decoded {table.num_rows} rows, manifest "
+                    f"says {manifest.get('num_rows')}"
+                )
+        except (FileNotFoundError, ValueError, KeyError, StorageError):
+            # Definitively broken: missing/torn payloads, size or row-count
+            # mismatches, unparseable npy content.
+            self._quarantine(uri, entry_dir)
             return None
-        if table.num_rows != int(manifest.get("num_rows", table.num_rows)):
+        except OSError:
+            # Transient I/O failure (fd exhaustion, interrupt): the entry
+            # may be perfectly valid — report a miss but leave it on disk
+            # for the next attempt.
             with self._lock:
                 self.stats.invalid_entries += 1
             return None
@@ -359,6 +516,49 @@ class ChunkStore:
                 float(manifest.get("loading_cost", 0.0)),
             )
         return table, float(manifest.get("loading_cost", 0.0)), payload
+
+    def _quarantine(self, uri: str, entry_dir: str) -> None:
+        """Move a torn entry aside: served as a miss, reaped at next open.
+
+        The chunk itself is never lost — it is re-decodable from the
+        repository — so quarantine only has to guarantee the broken files
+        are not read again and do not shadow a future rewrite of the URI.
+        Re-verified before the rename: a concurrent writer may have
+        re-committed a fresh valid entry at this path since the failed
+        read, and a concurrent delete may have removed it entirely —
+        neither is a torn entry to destroy or count.
+        """
+        with self._lock:
+            self._index.pop(uri, None)
+            self._scanned_stats.pop(uri, None)
+        if not os.path.isdir(entry_dir):
+            return  # concurrently deleted: nothing to quarantine or count
+        with self._lock:
+            self.stats.invalid_entries += 1
+        if self._entry_is_intact(entry_dir):
+            return  # concurrently re-committed: a valid entry lives here
+        doomed = entry_dir + QUARANTINE_SUFFIX
+        shutil.rmtree(doomed, ignore_errors=True)
+        try:
+            os.rename(entry_dir, doomed)
+        except OSError:
+            # Already gone or already moved by a concurrent reader.
+            pass
+
+    def _entry_is_intact(self, entry_dir: str) -> bool:
+        """Manifest parses and every payload file matches its size."""
+        manifest = self._read_manifest(entry_dir)
+        if manifest is None:
+            return False
+        try:
+            for spec in manifest["columns"]:
+                expected = int(spec.get("nbytes", -1))
+                size = os.path.getsize(os.path.join(entry_dir, spec["file"]))
+                if expected >= 0 and size != expected:
+                    return False
+        except (OSError, KeyError, ValueError, TypeError):
+            return False
+        return True
 
     # -- maintenance -------------------------------------------------------
 
@@ -388,4 +588,6 @@ class ChunkStore:
                 "bytes_spilled": self.stats.bytes_spilled,
                 "bytes_rehydrated": self.stats.bytes_rehydrated,
                 "invalid_entries": self.stats.invalid_entries,
+                "swept_dirs": self.stats.swept_dirs,
+                "restored_entries": self.stats.restored_entries,
             }

@@ -57,6 +57,10 @@ class ExecStats:
     joins_executed: int = 0
     join_index_hits: int = 0
     rows_joined: int = 0
+    # Result-recycler outcomes: the whole query was answered from a cached
+    # result (exact repeat) or by re-filtering a covering one (subsumed).
+    results_from_cache: int = 0
+    results_subsumed: int = 0
 
     def reset(self) -> None:
         self.rows_scanned = 0
@@ -70,6 +74,8 @@ class ExecStats:
         self.joins_executed = 0
         self.join_index_hits = 0
         self.rows_joined = 0
+        self.results_from_cache = 0
+        self.results_subsumed = 0
 
     def merge(self, other: "ExecStats") -> None:
         self.rows_scanned += other.rows_scanned
@@ -83,6 +89,8 @@ class ExecStats:
         self.joins_executed += other.joins_executed
         self.join_index_hits += other.join_index_hits
         self.rows_joined += other.rows_joined
+        self.results_from_cache += other.results_from_cache
+        self.results_subsumed += other.results_subsumed
 
 
 @dataclass

@@ -25,6 +25,8 @@ import numpy as np
 from .expressions import ColumnRef, Comparison, Expression, Literal, conjuncts
 
 __all__ = [
+    "is_numeric_literal",
+    "oriented_bound_conjuncts",
     "oriented_literal_comparisons",
     "literal_bounds_by_column",
     "extract_time_bounds",
@@ -35,7 +37,19 @@ __all__ = [
 _BOUND_OPS = ("=", "<", "<=", ">", ">=")
 
 
-def _oriented_bound_conjuncts(
+def is_numeric_literal(value: object) -> bool:
+    """A value range/containment logic may order numerically.
+
+    Bools are excluded (they are ints in Python but never a range bound);
+    the single definition shared by the chunk planner's pruning tests and
+    the result cache's bound extraction.
+    """
+    return not isinstance(value, bool) and isinstance(
+        value, (int, float, np.integer, np.floating)
+    )
+
+
+def oriented_bound_conjuncts(
     predicate: Expression,
 ) -> Iterator[tuple[str, str, Literal]]:
     """Yield ``(column, op, literal)`` for every literal bound conjunct.
@@ -43,7 +57,9 @@ def _oriented_bound_conjuncts(
     The single normalization loop every consumer builds on: comparisons
     are oriented so the column is on the left (a flipped comparison yields
     the flipped operator); non-comparison conjuncts, comparisons against
-    non-literals and non-bound operators are skipped.
+    non-literals and non-bound operators are skipped.  Public because the
+    semantic result cache uses the same normalization to split a plan into
+    its bound-free template plus per-column bounds.
     """
     for conjunct in conjuncts(predicate):
         if not isinstance(conjunct, Comparison):
@@ -62,7 +78,7 @@ def oriented_literal_comparisons(
     predicate: Expression, column: str
 ) -> Iterator[tuple[str, Literal]]:
     """``(op, literal)`` for every conjunct bounding the named column."""
-    for found, op, literal in _oriented_bound_conjuncts(predicate):
+    for found, op, literal in oriented_bound_conjuncts(predicate):
         if found == column:
             yield op, literal
 
@@ -79,7 +95,7 @@ def literal_bounds_by_column(
     if predicate is None:
         return {}
     found: dict[str, list[tuple[str, object]]] = {}
-    for column, op, literal in _oriented_bound_conjuncts(predicate):
+    for column, op, literal in oriented_bound_conjuncts(predicate):
         found.setdefault(column, []).append((op, literal.value))
     return found
 
@@ -147,9 +163,7 @@ def range_may_satisfy(
     Conservative by construction: unknown operators and non-numeric values
     return True (never prune on what we cannot reason about).
     """
-    if isinstance(value, bool) or not isinstance(
-        value, (int, float, np.integer, np.floating)
-    ):
+    if not is_numeric_literal(value):
         return True
     bound = float(value)
     if op == ">=":

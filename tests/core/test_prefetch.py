@@ -118,6 +118,57 @@ class TestPrediction:
         assert prefetcher._sessions[7].forward_streak == 1
 
 
+class TestWarmedBookkeeping:
+    def test_hit_is_counted_once_per_warm(self, lazy_db):
+        prefetcher = WorkloadPrefetcher(lazy_db.database)
+        day0, day1 = station_uris(lazy_db, "ISK")
+        prefetcher.note_query(1, [day0])
+        prefetcher.wait_idle()
+        # A dashboard re-reading the still-resident chunk: the first query
+        # is the prefetcher's contribution, the repeats are the recycler's.
+        assert prefetcher.record_hits([day1]) == 1
+        assert prefetcher.record_hits([day1]) == 0
+        assert prefetcher.record_hits([day1]) == 0
+        assert prefetcher.stats_snapshot()["hits"] == 1
+        # A fresh warm of the same URI earns a fresh (single) hit.
+        lazy_db.database.recycler.clear()
+        prefetcher.note_query(1, [day0])
+        prefetcher.wait_idle()
+        assert prefetcher.record_hits([day1]) == 1
+        assert prefetcher.record_hits([day1]) == 0
+        assert prefetcher.stats_snapshot()["hits"] == 2
+
+    def test_warmed_set_is_lru_bounded(self, lazy_db):
+        prefetcher = WorkloadPrefetcher(lazy_db.database, max_warmed=3)
+        uris = sorted(
+            lazy_db.database.catalog.table("F").data.column("uri").to_list()
+        )
+        assert len(uris) == 8
+        for uri in uris:
+            prefetcher._warm_one(uri)
+        with prefetcher._lock:
+            assert len(prefetcher._warmed) == 3
+            # LRU: the most recently warmed survive.
+            assert set(prefetcher._warmed) == set(uris[-3:])
+
+    def test_soak_pruned_while_warm_does_not_accumulate(self, lazy_db):
+        """The long-running-server scenario: chunks get warmed, then every
+        later query planner-prunes them (resident but never loaded), so
+        nothing ever evicts them from the warmed set organically."""
+        prefetcher = WorkloadPrefetcher(lazy_db.database, max_warmed=4)
+        uris = sorted(
+            lazy_db.database.catalog.table("F").data.column("uri").to_list()
+        )
+        for round_no in range(50):
+            uri = uris[round_no % len(uris)]
+            prefetcher._warm_one(uri)
+            # Pruned while warm: neither resident-hit nor reloaded.
+            prefetcher.record_hits([uri], resident_uris=[], loaded_uris=[])
+            with prefetcher._lock:
+                assert len(prefetcher._warmed) <= 4
+        assert prefetcher.stats_snapshot()["hits"] == 0
+
+
 class TestFacadeIntegration:
     @pytest.fixture()
     def prefetch_db(self, tiny_repo):

@@ -1,0 +1,382 @@
+"""Semantic result recycler: fingerprints, subsumption, invalidation."""
+
+import pytest
+
+from repro.core.loading import prepare
+from repro.core.result_cache import ColumnBounds, ResultCache, normalize_plan
+from repro.core.two_stage import TwoStageOptions
+from repro.data.ingv import EPOCH_2010_MS
+from repro.workloads import QueryParams, t5_query
+
+HOUR_MS = 3600 * 1000
+
+AGG_SQL = (
+    "SELECT COUNT(*) AS n, AVG(D.sample_value) AS mean FROM dataview "
+    "WHERE F.station = 'ISK' AND D.sample_time >= {} AND D.sample_time < {}"
+)
+ROW_SQL = (
+    "SELECT D.sample_time AS t, D.sample_value AS v FROM dataview "
+    "WHERE F.station = 'ISK' AND D.sample_time >= {} AND D.sample_time < {}"
+)
+
+
+@pytest.fixture()
+def cached_db(tiny_repo):
+    db, _ = prepare(
+        "lazy", tiny_repo[0], options=TwoStageOptions(result_cache=True)
+    )
+    yield db
+    db.close()
+
+
+def cache_stats(db) -> dict:
+    return db.planner_stats()["result_cache"]
+
+
+class TestColumnBounds:
+    def covers(self, cached, query) -> bool:
+        return ColumnBounds.from_conjuncts(cached).covers(
+            ColumnBounds.from_conjuncts(query)
+        )
+
+    def test_wider_range_covers_narrower(self):
+        assert self.covers([(">=", 0), ("<", 100)], [(">=", 10), ("<", 50)])
+        assert self.covers([(">=", 0)], [(">=", 0), ("<", 50)])
+        assert not self.covers([(">=", 10)], [(">=", 0)])
+        assert not self.covers([("<", 50)], [("<", 100)])
+
+    def test_edge_inclusivity(self):
+        # Cached t > 5 does not admit the query's t >= 5 point.
+        assert not self.covers([(">", 5)], [(">=", 5)])
+        assert self.covers([(">=", 5)], [(">", 5)])
+        assert not self.covers([("<", 5)], [("<=", 5)])
+        assert self.covers([("<=", 5)], [("<", 5)])
+
+    def test_unbounded_covers_everything(self):
+        assert self.covers([], [(">=", 3), ("<", 9)])
+        assert self.covers([], [("=", "ISK")])
+        assert not self.covers([(">=", 3)], [])
+
+    def test_equality_points(self):
+        assert self.covers([(">=", 0), ("<=", 10)], [("=", 5)])
+        assert not self.covers([(">=", 0), ("<", 5)], [("=", 5)])
+        # A cached equality serves only the identical bound set.
+        assert self.covers([("=", "ISK")], [("=", "ISK")])
+        assert not self.covers([("=", "ISK")], [("=", "ARCI")])
+        assert not self.covers([("=", "ISK")], [])
+
+    def test_redundant_conjuncts_canonicalize(self):
+        a = ColumnBounds.from_conjuncts([(">=", 5), (">=", 3)])
+        b = ColumnBounds.from_conjuncts([(">=", 5)])
+        assert a == b
+
+
+class TestNormalization:
+    def test_reordered_where_shares_fingerprint(self, lazy_db):
+        a = lazy_db.bind(
+            "SELECT COUNT(*) AS n FROM dataview "
+            "WHERE F.station = 'ISK' AND F.channel = 'BHE'"
+        )
+        b = lazy_db.bind(
+            "SELECT COUNT(*) AS n FROM dataview "
+            "WHERE F.channel = 'BHE' AND F.station = 'ISK'"
+        )
+        assert normalize_plan(a).fingerprint == normalize_plan(b).fingerprint
+
+    def test_bounds_leave_the_template(self, lazy_db):
+        start = EPOCH_2010_MS
+        a = normalize_plan(lazy_db.bind(ROW_SQL.format(start, start + 10)))
+        b = normalize_plan(
+            lazy_db.bind(ROW_SQL.format(start + 5, start + 7))
+        )
+        assert a.fingerprint != b.fingerprint
+        assert a.template == b.template
+        assert a.bounds["D.sample_time"].covers(b.bounds["D.sample_time"])
+
+    def test_aggregate_and_limit_block_refiltering(self, lazy_db):
+        start = EPOCH_2010_MS
+        assert not normalize_plan(
+            lazy_db.bind(AGG_SQL.format(start, start + 10))
+        ).refilterable
+        assert not normalize_plan(
+            lazy_db.bind(ROW_SQL.format(start, start + 10) + " LIMIT 5")
+        ).refilterable
+        assert normalize_plan(
+            lazy_db.bind(ROW_SQL.format(start, start + 10))
+        ).refilterable
+
+    def test_output_columns_follow_projection_aliases(self, lazy_db):
+        normalized = normalize_plan(
+            lazy_db.bind(ROW_SQL.format(EPOCH_2010_MS, EPOCH_2010_MS + 10))
+        )
+        assert normalized.output_columns["D.sample_time"] == "t"
+        assert normalized.output_columns["D.sample_value"] == "v"
+        assert "F.station" not in normalized.output_columns
+
+
+class TestExactRepeat:
+    def test_repeat_skips_both_stages(self, cached_db, day_range):
+        start, end = day_range
+        first = cached_db.query(AGG_SQL.format(start, end))
+        second = cached_db.query(AGG_SQL.format(start, end))
+        assert first.result_cache is None
+        assert second.result_cache == "exact"
+        assert second.stats.results_from_cache == 1
+        assert second.stats.chunks_loaded == 0
+        assert second.stats.chunks_from_cache == 0
+        assert second.table.to_dicts() == first.table.to_dicts()
+        assert cached_db.stats.result_cache_hits == 1
+
+    def test_iso_and_numeric_timestamps_interoperate(self, cached_db):
+        start = EPOCH_2010_MS
+        numeric = cached_db.query(ROW_SQL.format(start, start + HOUR_MS))
+        iso = cached_db.query(
+            "SELECT D.sample_time AS t, D.sample_value AS v FROM dataview "
+            "WHERE F.station = 'ISK' "
+            "AND D.sample_time >= '2010-01-01T00:00:00.000' "
+            "AND D.sample_time < '2010-01-01T01:00:00.000'"
+        )
+        assert iso.result_cache in ("exact", "subsumed")
+        assert iso.table.to_dicts() == numeric.table.to_dicts()
+
+    def test_disabled_by_default(self, lazy_db, day_range):
+        start, end = day_range
+        assert lazy_db.result_cache is None
+        lazy_db.query(AGG_SQL.format(start, end))
+        repeat = lazy_db.query(AGG_SQL.format(start, end))
+        assert repeat.result_cache is None
+        assert repeat.stats.results_from_cache == 0
+        assert "result_cache" not in lazy_db.planner_stats()
+
+
+class TestSubsumption:
+    def test_zoom_in_is_bit_identical_to_execution(
+        self, cached_db, lazy_db, day_range
+    ):
+        start, end = day_range
+        cached_db.query(ROW_SQL.format(start, end))
+        for lo, hi in (
+            (start + HOUR_MS, start + 3 * HOUR_MS),
+            (start, start + HOUR_MS),
+            (start + 23 * HOUR_MS, end),
+        ):
+            served = cached_db.query(ROW_SQL.format(lo, hi))
+            direct = lazy_db.query(ROW_SQL.format(lo, hi))
+            assert served.result_cache == "subsumed"
+            assert served.stats.results_subsumed == 1
+            assert served.stats.chunks_loaded == 0
+            assert served.table.to_dicts() == direct.table.to_dicts()
+        assert cached_db.stats.result_cache_subsumed == 3
+
+    def test_unbounded_station_covers_bounded(self, cached_db, lazy_db):
+        start = EPOCH_2010_MS
+        broad = (
+            "SELECT F.station AS station, D.sample_value AS v FROM dataview "
+            f"WHERE D.sample_time >= {start} "
+            f"AND D.sample_time < {start + HOUR_MS}"
+        )
+        cached_db.query(broad)
+        narrow = broad + " AND F.station = 'ARCI'"
+        served = cached_db.query(narrow)
+        direct = lazy_db.query(narrow)
+        assert served.result_cache == "subsumed"
+        assert served.table.to_dicts() == direct.table.to_dicts()
+
+    def test_narrower_cache_cannot_serve_wider_query(self, cached_db):
+        start = EPOCH_2010_MS
+        cached_db.query(ROW_SQL.format(start, start + HOUR_MS))
+        wider = cached_db.query(ROW_SQL.format(start, start + 2 * HOUR_MS))
+        assert wider.result_cache is None
+
+    def test_different_station_equality_is_no_match(self, cached_db):
+        start = EPOCH_2010_MS
+        cached_db.query(ROW_SQL.format(start, start + HOUR_MS))
+        other = cached_db.query(
+            ROW_SQL.replace("'ISK'", "'ARCI'").format(start, start + HOUR_MS)
+        )
+        assert other.result_cache is None
+
+    def test_aggregates_only_hit_exactly(self, cached_db, day_range):
+        start, end = day_range
+        cached_db.query(AGG_SQL.format(start, end))
+        narrower = cached_db.query(AGG_SQL.format(start, start + HOUR_MS))
+        assert narrower.result_cache is None
+
+    def test_bound_column_missing_from_output_blocks_subsumption(
+        self, cached_db
+    ):
+        start = EPOCH_2010_MS
+        no_time_output = (
+            "SELECT D.sample_value AS v FROM dataview "
+            "WHERE F.station = 'ISK' "
+            "AND D.sample_time >= {} AND D.sample_time < {}"
+        )
+        cached_db.query(no_time_output.format(start, start + 2 * HOUR_MS))
+        narrower = cached_db.query(
+            no_time_output.format(start, start + HOUR_MS)
+        )
+        assert narrower.result_cache is None
+
+    def test_order_by_rides_along(self, cached_db, lazy_db):
+        start = EPOCH_2010_MS
+        sorted_sql = (
+            ROW_SQL + " ORDER BY v"
+        )
+        cached_db.query(sorted_sql.format(start, start + 2 * HOUR_MS))
+        served = cached_db.query(sorted_sql.format(start, start + HOUR_MS))
+        direct = lazy_db.query(sorted_sql.format(start, start + HOUR_MS))
+        assert served.result_cache == "subsumed"
+        assert served.table.to_dicts() == direct.table.to_dicts()
+
+
+class TestInvalidation:
+    def test_register_repository_drops_everything(self, tiny_repo, day_range):
+        start, end = day_range
+        db, _ = prepare(
+            "lazy", tiny_repo[0], options=TwoStageOptions(result_cache=True)
+        )
+        try:
+            db.query(AGG_SQL.format(start, end))
+            assert cache_stats(db)["entries"] == 1
+            db.register_repository(tiny_repo[0])
+            assert cache_stats(db)["entries"] == 0
+            assert cache_stats(db)["invalidations"] == 1
+        finally:
+            db.close()
+
+    def test_reset_derived_metadata_drops_h_entries_only(
+        self, cached_db, day_range
+    ):
+        start, end = day_range
+        params = QueryParams(
+            station="ISK", channel="BHE", start_ms=start, end_ms=end,
+            max_val_threshold=-1e12,
+        )
+        cached_db.query(t5_query(params))  # reads H (derived)
+        cached_db.query(AGG_SQL.format(start, end))  # reads F/S/D only
+        assert cache_stats(cached_db)["entries"] == 2
+        cached_db.reset_derived_metadata()
+        assert cache_stats(cached_db)["entries"] == 1
+        repeat = cached_db.query(AGG_SQL.format(start, end))
+        assert repeat.result_cache == "exact"
+
+    def test_new_window_materialization_invalidates_h_entries(
+        self, cached_db, day_range
+    ):
+        start, end = day_range
+        params = QueryParams(
+            station="ISK", channel="BHE", start_ms=start, end_ms=end,
+            max_val_threshold=-1e12,
+        )
+        first = cached_db.query(t5_query(params))
+        assert first.result_cache is None
+        # The identical query derives nothing new and hits.
+        assert cached_db.query(t5_query(params)).result_cache == "exact"
+        # A different window materializes new H rows -> H entries drop.
+        other = QueryParams(
+            station="ARCI", channel="BHZ", start_ms=start, end_ms=end,
+            max_val_threshold=-1e12,
+        )
+        cached_db.query(t5_query(other))
+        repeat = cached_db.query(t5_query(params))
+        assert repeat.result_cache is None  # re-executed, re-admitted
+        assert cached_db.query(t5_query(params)).result_cache == "exact"
+
+
+class TestBudget:
+    def test_eviction_by_benefit_density(self, tiny_repo, day_range):
+        start, end = day_range
+        db, _ = prepare(
+            "lazy", tiny_repo[0],
+            options=TwoStageOptions(
+                result_cache=True, result_cache_bytes=1
+            ),
+        )
+        try:
+            # Nothing fits a 1-byte budget; the cache must stay empty and
+            # queries must keep executing correctly.
+            first = db.query(AGG_SQL.format(start, end))
+            repeat = db.query(AGG_SQL.format(start, end))
+            assert repeat.result_cache is None
+            assert repeat.table.to_dicts() == first.table.to_dicts()
+            assert cache_stats(db)["entries"] == 0
+        finally:
+            db.close()
+
+    def test_budget_bounds_bytes_cached(self, cached_db, day_range):
+        start, end = day_range
+        cache = cached_db.result_cache
+        first = cached_db.query(ROW_SQL.format(start, start + 2 * HOUR_MS))
+        # Room for one result but not two: admitting the second (disjoint)
+        # result must evict the first, never blow the budget.
+        cache.budget_bytes = first.table.nbytes + 1
+        cached_db.query(
+            ROW_SQL.format(start + 2 * HOUR_MS, start + 4 * HOUR_MS)
+        )
+        snapshot = cache.stats_snapshot()
+        assert snapshot["bytes_cached"] <= cache.budget_bytes
+        assert snapshot["evictions"] == 1
+        assert snapshot["entries"] == 1
+
+    def test_unit_eviction_prefers_low_benefit(self):
+        from repro.engine.column import Column
+        from repro.engine.table import Schema, Table
+        from repro.engine.types import INT64
+        import numpy as np
+
+        cache = ResultCache(budget_bytes=2048)
+
+        def table(rows: int) -> Table:
+            return Table(
+                Schema.of(("v", INT64)),
+                [Column(INT64, np.arange(rows, dtype=np.int64))],
+            )
+
+        class Fake:
+            def __init__(self, tag):
+                self.fingerprint = (tag,)
+                self.template = (tag,)
+                self.bounds = {}
+                self.bound_conjuncts = ()
+                self.refilterable = False
+                self.output_columns = {}
+                self.base_tables = frozenset({"D"})
+
+        cheap, dear = Fake("cheap"), Fake("dear")
+        assert cache.admit(cheap, table(128), compute_seconds=0.001)
+        assert cache.admit(dear, table(64), compute_seconds=10.0)
+        # A third entry forces an eviction: the low-benefit one goes.
+        assert cache.admit(Fake("new"), table(128), compute_seconds=1.0)
+        assert cache.serve(dear) is not None
+        assert cache.serve(cheap) is None
+        assert cache.stats.evictions >= 1
+
+
+class TestGenerations:
+    def test_stale_admit_is_rejected_after_invalidation(self, lazy_db):
+        """A result computed before an invalidation must not be admitted
+        after it — that would resurrect exactly what the invalidation
+        flushed (the concurrent-registration race)."""
+        cache = ResultCache()
+        normalized = normalize_plan(
+            lazy_db.bind("SELECT COUNT(*) AS n FROM gmdview")
+        )
+        table = lazy_db.query("SELECT COUNT(*) AS n FROM gmdview").table
+        generation = cache.generation
+        cache.invalidate_all()  # lands while the query is "executing"
+        assert not cache.admit(normalized, table, 0.1, generation=generation)
+        assert len(cache) == 0
+        assert cache.admit(
+            normalized, table, 0.1, generation=cache.generation
+        )
+        assert len(cache) == 1
+
+
+class TestSessions:
+    def test_session_stats_carry_result_cache_hits(self, cached_db, day_range):
+        start, end = day_range
+        with cached_db.session() as session:
+            session.query(AGG_SQL.format(start, end))
+            session.query(AGG_SQL.format(start, end))
+            assert session.stats.result_cache_hits == 1
+            assert session.stats.queries_executed == 2

@@ -185,6 +185,176 @@ class TestCrashSafety:
         assert ChunkStore(root).get("real") is None
 
 
+def dead_pid() -> int:
+    """A PID guaranteed to belong to no running process."""
+    import multiprocessing
+
+    process = multiprocessing.get_context("spawn").Process(target=int)
+    process.start()
+    process.join()
+    return process.pid
+
+
+class TestDurability:
+    def entry_dir(self, store: ChunkStore, uri: str) -> str:
+        return store._entry_dir(uri)
+
+    def test_torn_payload_is_a_miss_and_quarantined(self, tmp_path):
+        """A committed entry with a truncated column file never serves."""
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        store.put("torn", make_table(np.arange(256), np.arange(256)), 0.1)
+        payload = os.path.join(self.entry_dir(store, "torn"), "c0.npy")
+        with open(payload, "r+b") as handle:
+            handle.truncate(os.path.getsize(payload) // 2)
+
+        assert store.get("torn") is None  # miss, not a crash
+        assert store.stats.invalid_entries >= 1
+        # Quarantined: the entry dir is gone, a rewrite is not shadowed.
+        assert not os.path.isdir(self.entry_dir(store, "torn"))
+        store.put("torn", make_table(np.arange(8), np.arange(8)), 0.2)
+        assert store.get("torn")[0].num_rows == 8
+
+    def test_zero_length_payload_is_a_miss(self, tmp_path):
+        """The power-loss signature: committed manifest, empty data file."""
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        store.put("zero", make_table(np.arange(64), np.arange(64)), 0.1)
+        payload = os.path.join(self.entry_dir(store, "zero"), "c1.npy")
+        with open(payload, "wb"):
+            pass  # truncate to zero bytes
+        assert store.get("zero") is None
+        assert store.stats.invalid_entries >= 1
+
+    def test_transient_io_error_does_not_quarantine(self, tmp_path, monkeypatch):
+        """EMFILE-style failures are a miss, never a destroyed entry."""
+        store = ChunkStore(str(tmp_path))
+        store.put("fine", make_table(np.arange(16), np.arange(16)), 0.1)
+
+        def exhausted(*args, **kwargs):
+            raise OSError(24, "Too many open files")
+
+        monkeypatch.setattr(np, "load", exhausted)
+        assert store.get("fine") is None
+        monkeypatch.undo()
+        # The entry survived on disk and serves normally afterwards.
+        assert os.path.isdir(store._entry_dir("fine"))
+        assert store.get("fine")[0].num_rows == 16
+
+    def test_quarantined_entry_is_reaped_at_next_open(self, tmp_path):
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        store.put("torn", make_table(np.arange(16), np.arange(16)), 0.1)
+        payload = os.path.join(self.entry_dir(store, "torn"), "c0.npy")
+        with open(payload, "wb"):
+            pass
+        assert store.get("torn") is None
+
+        reopened = ChunkStore(root)
+        assert reopened.uris() == set()
+        assert reopened.stats.swept_dirs >= 1
+        assert not any(
+            name.endswith(".quarantine") for name in os.listdir(root)
+        )
+
+
+class TestOpenSweep:
+    def entry_dir(self, store: ChunkStore, uri: str) -> str:
+        return store._entry_dir(uri)
+
+    def test_planted_old_dir_is_restored_when_entry_lost(self, tmp_path):
+        """Crash between the rename-aside and the commit rename: the .old
+        directory is the only committed state left — reopening restores it
+        instead of leaving the URI with no entry at all."""
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        store.put("u", make_table(np.arange(32), np.arange(32)), 0.4)
+        final = self.entry_dir(store, "u")
+        os.rename(final, final + ".old")  # the mid-replace crash state
+
+        reopened = ChunkStore(root)
+        assert reopened.stats.restored_entries == 1
+        assert reopened.uris() == {"u"}
+        table, cost = reopened.get("u")
+        assert table.num_rows == 32
+        assert cost == pytest.approx(0.4)
+
+    def test_writer_unique_old_dir_is_restored(self, tmp_path):
+        """Replaces park the old entry under a writer-unique .old-* name
+        (concurrent replacers never delete each other's safety copy); the
+        sweep restores those exactly like plain .old dirs."""
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        store.put("u", make_table(np.arange(6), np.arange(6)), 0.2)
+        final = self.entry_dir(store, "u")
+        os.rename(final, final + ".old-12345-7")
+
+        reopened = ChunkStore(root)
+        assert reopened.stats.restored_entries == 1
+        assert reopened.get("u")[0].num_rows == 6
+
+    def test_planted_old_dir_is_swept_when_entry_survived(self, tmp_path):
+        import shutil
+
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        store.put("u", make_table(np.arange(8), np.arange(8)), 0.1)
+        final = self.entry_dir(store, "u")
+        shutil.copytree(final, final + ".old")  # replace completed
+
+        reopened = ChunkStore(root)
+        assert reopened.stats.restored_entries == 0
+        assert reopened.stats.swept_dirs == 1
+        assert not os.path.isdir(final + ".old")
+        assert reopened.get("u")[0].num_rows == 8
+
+    def test_dead_process_staging_is_swept(self, tmp_path):
+        """Kill after the payload fsyncs but before the commit rename: the
+        fully-written staging dir must be garbage-collected, never served."""
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        store.put("u", make_table(np.arange(4), np.arange(4)), 0.1)
+        committed = self.entry_dir(store, "u")
+        staging = os.path.join(root, f".tmp-{dead_pid()}-1")
+        import shutil
+
+        shutil.copytree(committed, staging)  # crash point: pre-rename
+
+        reopened = ChunkStore(root)
+        assert reopened.stats.swept_dirs == 1
+        assert not os.path.isdir(staging)
+        assert reopened.uris() == {"u"}
+
+    def test_live_process_staging_is_left_alone(self, tmp_path):
+        root = str(tmp_path)
+        ChunkStore(root)
+        staging = os.path.join(root, f".tmp-{os.getpid()}-77")
+        os.makedirs(staging)
+        reopened = ChunkStore(root)
+        assert os.path.isdir(staging)  # its writer may still commit it
+        assert len(reopened) == 0
+
+    def test_full_mid_replace_crash_recovers_old_version(self, tmp_path):
+        """Both leftovers at once (the planted crash of the issue): the
+        new version's staging dir and the displaced old entry.  Recovery
+        keeps the old committed version and discards the orphan."""
+        import shutil
+
+        root = str(tmp_path)
+        store = ChunkStore(root)
+        store.put("u", make_table(np.arange(10), np.arange(10)), 0.1)
+        final = self.entry_dir(store, "u")
+        staging = os.path.join(root, f".tmp-{dead_pid()}-3")
+        shutil.copytree(final, staging)  # v2 staged, never committed
+        os.rename(final, final + ".old")  # v1 moved aside, then crash
+
+        reopened = ChunkStore(root)
+        assert reopened.uris() == {"u"}
+        assert reopened.get("u")[0].num_rows == 10
+        assert not os.path.isdir(staging)
+        assert not os.path.isdir(final + ".old")
+
+
 class TestMaintenance:
     def test_delete_and_clear(self, tmp_path):
         store = ChunkStore(str(tmp_path))
