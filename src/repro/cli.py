@@ -9,6 +9,8 @@ Usage::
         --sql "SELECT COUNT(*) AS n FROM dataview" [--warm-sql "..."]
     python -m repro cache --base /tmp/data --sf 3 --scale test \
         --sql "SELECT COUNT(*) AS n FROM dataview" [--json] [--workdir /tmp/db]
+    python -m repro serve --base /tmp/data --sf 3 --scale test \
+        [--port 8080] [--pool-size 4] [--max-queue 8] [--rate-limit 10]
     python -m repro bench --experiment fig6 [--profile quick]
     python -m repro inspect --base /tmp/data --sf 3 --scale test
 
@@ -153,6 +155,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the semantic result recycler and report its counters",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the asyncio HTTP/JSON query service over a repository "
+        "(admission control, rate limits, /stats; Ctrl-C drains)",
+    )
+    _add_dataset_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--pool-size", type=int, default=4,
+        help="session pool size = max concurrently executing queries",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=8,
+        help="requests allowed to wait for a session before 503s are shed",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=0.0,
+        help="per-client token-bucket rate in req/s (0 disables)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=4.0,
+        help="per-client token-bucket burst capacity",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="per-request budget; expiry cancels the query (504)",
+    )
+    serve.add_argument(
+        "--workdir", default=None,
+        help="persistent database directory; reopened warm when it holds "
+        "a checkpoint",
+    )
+    serve.add_argument(
+        "--io-threads", type=int, default=None,
+        help="decode threads for the parallel stage-two pipeline",
+    )
+    serve.add_argument(
+        "--executor", default=None, choices=("thread", "process"),
+        help="stage-two decode executor",
+    )
+    serve.add_argument(
+        "--result-cache", action="store_true",
+        help="enable the semantic result recycler",
+    )
+
     bench = commands.add_parser(
         "bench", help="regenerate one of the paper's tables/figures"
     )
@@ -209,20 +257,12 @@ def _command_inspect(args: argparse.Namespace) -> int:
 
 
 def _command_query(args: argparse.Namespace) -> int:
-    from .core.two_stage import TwoStageOptions
-
     repository, _ = build_or_reuse(
         args.base, args.sf, SCALES[args.scale], args.fiam
     )
-    option_kwargs = {}
-    if args.io_threads is not None:
-        option_kwargs["io_threads"] = args.io_threads
-    if args.executor is not None:
-        option_kwargs["executor"] = args.executor
-    if args.result_cache:
-        option_kwargs["result_cache"] = True
-    options = TwoStageOptions(**option_kwargs) if option_kwargs else None
-    db, report = prepare(args.approach, repository, options=options)
+    db, report = prepare(
+        args.approach, repository, options=_two_stage_options(args)
+    )
     try:
         print(
             f"prepared with {args.approach} in {report.total_seconds:.3f}s "
@@ -277,46 +317,100 @@ def _run_concurrent_clients(db, sql: str, clients: int) -> int:
     return 0
 
 
-def _command_cache(args: argparse.Namespace) -> int:
-    """Run optional queries, then report per-tier recycler statistics."""
-    import json
-    import os
-
-    from .core.sommelier import SommelierDB
+def _two_stage_options(args: argparse.Namespace):
+    """TwoStageOptions from the shared --io-threads/--executor/... flags."""
     from .core.two_stage import TwoStageOptions
 
     option_kwargs = {}
-    if args.io_threads is not None:
+    if getattr(args, "io_threads", None) is not None:
         option_kwargs["io_threads"] = args.io_threads
-    if args.executor is not None:
+    if getattr(args, "executor", None) is not None:
         option_kwargs["executor"] = args.executor
-    if args.result_cache:
+    if getattr(args, "result_cache", False):
         option_kwargs["result_cache"] = True
-    options = TwoStageOptions(**option_kwargs) if option_kwargs else None
+    return TwoStageOptions(**option_kwargs) if option_kwargs else None
+
+
+def _prepare_or_reopen(args: argparse.Namespace, options):
+    """A lazy database over --workdir (reopened warm) or the dataset args."""
+    import os
+
+    from .core.sommelier import SommelierDB
 
     checkpoint = (
         os.path.join(args.workdir, "catalog.json") if args.workdir else None
     )
     if checkpoint and os.path.exists(checkpoint):
-        db = SommelierDB.open(args.workdir, options=options)
-    else:
-        repository, _ = build_or_reuse(
-            args.base, args.sf, SCALES[args.scale], args.fiam
-        )
-        db, _ = prepare(
-            "lazy", repository, workdir=args.workdir, options=options
-        )
+        return SommelierDB.open(args.workdir, options=options)
+    repository, _ = build_or_reuse(
+        args.base, args.sf, SCALES[args.scale], args.fiam
+    )
+    db, _ = prepare("lazy", repository, workdir=args.workdir, options=options)
+    return db
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    """Run optional queries, then report per-tier recycler statistics."""
+    import json
+
+    db = _prepare_or_reopen(args, _two_stage_options(args))
     try:
         for sql in args.sql or ():
             db.query(sql)
-        stats = dict(db.database.recycler.tier_stats())
-        stats.update(db.planner_stats())
+        # The same serialization the serving front end's /stats embeds.
+        stats = db.counters_snapshot()
         if args.json:
             print(json.dumps(stats, indent=2, sort_keys=True))
         else:
             for section, counters in stats.items():
                 parts = " ".join(f"{k}={v}" for k, v in counters.items())
                 print(f"[{section}] {parts}")
+        return 0
+    finally:
+        db.close()
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the serving front end until interrupted; Ctrl-C drains."""
+    import asyncio
+    import signal
+
+    from .serving import ServerConfig, SommelierServer
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        pool_size=args.pool_size,
+        max_queue=args.max_queue,
+        rate_limit_qps=args.rate_limit,
+        rate_limit_burst=args.burst,
+        request_timeout_s=args.request_timeout,
+    )
+    db = _prepare_or_reopen(args, _two_stage_options(args))
+
+    async def run() -> None:
+        server = SommelierServer(db, config)
+        await server.start()
+        print(
+            f"serving on http://{config.host}:{server.port} "
+            f"(pool={config.pool_size}, queue<={config.max_queue}, "
+            f"timeout={config.request_timeout_s:g}s) — Ctrl-C drains"
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stop.wait()
+        print("draining in-flight queries ...")
+        await server.stop(drain=True)
+
+    try:
+        asyncio.run(run())
+        return 0
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
         return 0
     finally:
         db.close()
@@ -362,6 +456,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": _command_query,
         "explain": _command_explain,
         "cache": _command_cache,
+        "serve": _command_serve,
         "bench": _command_bench,
     }
     return handlers[args.command](args)

@@ -60,12 +60,12 @@ class SommelierSession:
 
     # -- querying ----------------------------------------------------------
 
-    def query(self, sql: str) -> "QueryResult":
-        result, _ = self.query_with_derivation(sql)
+    def query(self, sql: str, cancel=None) -> "QueryResult":
+        result, _ = self.query_with_derivation(sql, cancel=cancel)
         return result
 
     def query_with_derivation(
-        self, sql: str
+        self, sql: str, cancel=None
     ) -> tuple["QueryResult", "DerivationReport"]:
         if self._closed:
             raise ExecutionError(
@@ -74,7 +74,7 @@ class SommelierSession:
         # The session id reaches the facade so the workload prefetcher can
         # keep per-session history (which client is walking forward where).
         result, derivation = self.db.query_with_derivation(
-            sql, session_id=self.session_id
+            sql, session_id=self.session_id, cancel=cancel
         )
         self._accumulate(result, derivation)
         return result, derivation
@@ -138,6 +138,7 @@ class SessionPool:
         self.size = size
         self._idle: "queue.LifoQueue[SommelierSession]" = queue.LifoQueue()
         self._created = 0
+        self._checked_out = 0
         self._lock = threading.Lock()
         self._closed = False
 
@@ -146,20 +147,61 @@ class SessionPool:
         if self._closed:
             raise ExecutionError("session pool is closed")
         try:
-            return self._idle.get_nowait()
+            session = self._idle.get_nowait()
         except queue.Empty:
-            pass
+            session = None
+        if session is None:
+            with self._lock:
+                if self._created < self.size:
+                    self._created += 1
+                    session = self.db.session()
+        if session is None:
+            try:
+                session = self._idle.get(timeout=timeout)
+            except queue.Empty:
+                raise ExecutionError(
+                    f"no session became free within {timeout}s "
+                    f"(pool size {self.size})"
+                ) from None
         with self._lock:
-            if self._created < self.size:
-                self._created += 1
-                return self.db.session()
+            self._checked_out += 1
+        return session
+
+    def try_acquire(self) -> SommelierSession | None:
+        """Non-blocking checkout: a session, or None when all are busy.
+
+        The admission-control hook for an async front end: the event loop
+        must never park a coroutine inside the blocking :meth:`acquire`, so
+        saturation is answered with backpressure instead of queuing here.
+        """
+        if self._closed:
+            raise ExecutionError("session pool is closed")
         try:
-            return self._idle.get(timeout=timeout)
+            session = self._idle.get_nowait()
         except queue.Empty:
-            raise ExecutionError(
-                f"no session became free within {timeout}s "
-                f"(pool size {self.size})"
-            ) from None
+            session = None
+        if session is None:
+            with self._lock:
+                if self._created < self.size:
+                    self._created += 1
+                    session = self.db.session()
+        if session is None:
+            return None
+        with self._lock:
+            self._checked_out += 1
+        return session
+
+    def stats(self) -> dict[str, int]:
+        """Checkout-level counters (what a ``/stats`` endpoint reports)."""
+        with self._lock:
+            checked_out = self._checked_out
+            created = self._created
+        return {
+            "size": self.size,
+            "created": created,
+            "in_use": checked_out,
+            "idle": created - checked_out,
+        }
 
     def release(self, session: SommelierSession) -> None:
         """Return a checked-out session; its counters are reset for reuse.
@@ -169,6 +211,9 @@ class SessionPool:
         A session the client closed itself is discarded (its slot frees up
         for a fresh session) rather than re-queued unusable.
         """
+        with self._lock:
+            if self._checked_out > 0:
+                self._checked_out -= 1
         if self._closed:
             session.close()
             return

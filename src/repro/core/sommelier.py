@@ -300,22 +300,27 @@ class SommelierDB:
     def query_type(self, sql: str) -> QueryType:
         return classify_plan(self.bind(sql), self.database.catalog)
 
-    def query(self, sql: str) -> QueryResult:
+    def query(self, sql: str, cancel=None) -> QueryResult:
         """Answer a SQL query; runs Algorithm 1 first when DMd is involved."""
-        result, _ = self.query_with_derivation(sql)
+        result, _ = self.query_with_derivation(sql, cancel=cancel)
         return result
 
     def query_with_derivation(
-        self, sql: str, session_id: int = 0
+        self, sql: str, session_id: int = 0, cancel=None
     ) -> tuple[QueryResult, DerivationReport]:
         """Like :meth:`query` but also returns the Algorithm-1 report.
 
         ``session_id`` attributes the query to a client session so the
         workload prefetcher can track per-session history (0 = the shared
-        facade itself).
+        facade itself).  ``cancel`` is an optional
+        :class:`~repro.engine.physical.CancelToken`: setting it aborts the
+        execution with :class:`~repro.engine.errors.QueryCancelled` at the
+        next operator entry or chunk boundary.
         """
         if self._closed:
             raise ExecutionError("database is closed")
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         plan = self.bind(sql)
         # Derivation inserts into H; serialize it so concurrent queries for
         # overlapping windows cannot double-materialize (single-stage
@@ -357,9 +362,9 @@ class SommelierDB:
                 result.seconds += derivation.seconds
                 return result, derivation
         if self.lazy:
-            result = self.compiler.execute_two_stage(plan)
+            result = self.compiler.execute_two_stage(plan, cancel=cancel)
         else:
-            result = self.compiler.execute_single_stage(plan)
+            result = self.compiler.execute_single_stage(plan, cancel=cancel)
         if self.result_cache is not None and normalized is not None:
             self.result_cache.admit(
                 normalized, result.table, result.seconds,
@@ -462,6 +467,29 @@ class SommelierDB:
         for chunk_plan in report.chunk_plans:
             lines.append(chunk_plan.describe())
         return "\n".join(lines)
+
+    def counters_snapshot(self) -> dict:
+        """Every engine/facade counter surface, one JSON-ready dict.
+
+        The single serialization the monitoring surfaces share: ``repro
+        cache --json`` prints exactly this, and the serving front end's
+        ``/stats`` endpoint embeds it — so the two can never drift.  Keys
+        are the recycler tiers (``memory``/``disk``) plus
+        :meth:`planner_stats` sections and the facade's cumulative query
+        counters.
+        """
+        snapshot = dict(self.database.recycler.tier_stats())
+        snapshot.update(self.planner_stats())
+        with self._stats_lock:
+            snapshot["facade"] = {
+                "queries_executed": self.stats.queries_executed,
+                "derivations": self.stats.derivations,
+                "windows_materialized": self.stats.windows_materialized,
+                "chunks_loaded_total": self.stats.chunks_loaded_total,
+                "result_cache_hits": self.stats.result_cache_hits,
+                "result_cache_subsumed": self.stats.result_cache_subsumed,
+            }
+        return snapshot
 
     def planner_stats(self) -> dict:
         """Cumulative planner + prefetch counters (``repro cache``)."""

@@ -39,6 +39,7 @@ from ..engine.mal import (
 from ..engine.optimizer import optimize as standard_optimize
 from ..engine.predicates import oriented_literal_comparisons
 from ..engine.physical import (
+    CancelToken,
     ExecStats,
     ExecutionContext,
     drop_hidden_columns,
@@ -346,10 +347,19 @@ class TwoStageCompiler:
                 break
         return compiled
 
-    def execute_two_stage(self, plan: algebra.LogicalPlan) -> QueryResult:
-        """Compile and run a query with lazy loading."""
+    def execute_two_stage(
+        self,
+        plan: algebra.LogicalPlan,
+        cancel: CancelToken | None = None,
+    ) -> QueryResult:
+        """Compile and run a query with lazy loading.
+
+        ``cancel`` is a cooperative :class:`CancelToken` checked at operator
+        entry and chunk boundaries; a serving front end sets it to abort a
+        timed-out request mid-stage-two.
+        """
         compiled = self.compile(plan)
-        ctx = ExecutionContext(self.database)
+        ctx = ExecutionContext(self.database, cancel=cancel)
         started = time.perf_counter()
         result = compiled.program.run(ctx)
         elapsed = time.perf_counter() - started
@@ -366,10 +376,14 @@ class TwoStageCompiler:
             two_stage=compiled.two_stage,
         )
 
-    def execute_single_stage(self, plan: algebra.LogicalPlan) -> QueryResult:
+    def execute_single_stage(
+        self,
+        plan: algebra.LogicalPlan,
+        cancel: CancelToken | None = None,
+    ) -> QueryResult:
         """Run a query conventionally (eager databases)."""
         ordered, join_order = self.compile_single_stage(plan)
-        ctx = ExecutionContext(self.database)
+        ctx = ExecutionContext(self.database, cancel=cancel)
         started = time.perf_counter()
         result = execute_plan(ordered, ctx)
         elapsed = time.perf_counter() - started

@@ -46,6 +46,15 @@ class ExecutionError(EngineError):
     """A physical operator failed while evaluating a query plan."""
 
 
+class QueryCancelled(ExecutionError):
+    """The query's cancel token was set; execution unwound cooperatively.
+
+    Raised at chunk boundaries (and operator entry), so a query blocked on
+    remote chunk fetches stops within one fetch of the cancellation — the
+    contract a serving front end's request timeout relies on.
+    """
+
+
 class PlanError(EngineError):
     """A logical or physical plan is structurally invalid."""
 

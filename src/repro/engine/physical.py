@@ -19,6 +19,7 @@ projections and final result delivery.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import as_completed
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
@@ -27,7 +28,7 @@ import numpy as np
 
 from . import algebra
 from .column import Column
-from .errors import ExecutionError, PlanError
+from .errors import ExecutionError, PlanError, QueryCancelled
 from .expressions import Comparison, ColumnRef, Expression, conjuncts
 from .hashjoin import composite_codes_pair, equi_join_pairs
 from .predicates import extract_time_bounds
@@ -37,9 +38,41 @@ from .types import FLOAT64, INT64, STRING, TIMESTAMP
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .database import Database
 
-__all__ = ["ExecStats", "ExecutionContext", "execute_plan", "drop_hidden_columns"]
+__all__ = [
+    "CancelToken",
+    "ExecStats",
+    "ExecutionContext",
+    "execute_plan",
+    "drop_hidden_columns",
+]
 
 HIDDEN_MARKER = "#"
+
+
+class CancelToken:
+    """Cooperative cancellation flag, safe to set from any thread.
+
+    A serving front end hands one token per request down to the executor;
+    setting it makes the query raise :class:`QueryCancelled` at the next
+    operator entry or chunk boundary, unwinding through the session so the
+    pool slot is released cleanly.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        if self._event.is_set():
+            raise QueryCancelled("query cancelled by its cancel token")
 
 
 @dataclass
@@ -100,6 +133,11 @@ class ExecutionContext:
     database: "Database"
     stage_results: dict[str, Table] = field(default_factory=dict)
     stats: ExecStats = field(default_factory=ExecStats)
+    cancel: CancelToken | None = None
+
+    def check_cancelled(self) -> None:
+        if self.cancel is not None:
+            self.cancel.raise_if_cancelled()
 
 
 def is_hidden(name: str) -> bool:
@@ -116,6 +154,7 @@ def drop_hidden_columns(table: Table) -> Table:
 
 def execute_plan(plan: algebra.LogicalPlan, ctx: ExecutionContext) -> Table:
     """Evaluate a logical plan bottom-up, returning its result table."""
+    ctx.check_cancelled()
     if isinstance(plan, algebra.Scan):
         return _execute_scan(plan, ctx)
     if isinstance(plan, algebra.Select):
@@ -206,6 +245,7 @@ def _record_chunk_outcome(
 
 
 def _execute_chunk_access(plan: algebra.ChunkAccess, ctx: ExecutionContext) -> Table:
+    ctx.check_cancelled()
     in_situ = _try_in_situ_access(plan, ctx)
     if in_situ is not None:
         return in_situ
@@ -304,6 +344,9 @@ def _execute_parallel_chunk_scan(
         }
         try:
             for future in as_completed(futures):
+                # Between chunk completions is the natural cancellation
+                # point: pending decodes are revoked by the except below.
+                ctx.check_cancelled()
                 chunk, outcome, cost = future.result()
                 ingest(futures[future], chunk, outcome, cost)
         except BaseException:
@@ -313,6 +356,7 @@ def _execute_parallel_chunk_scan(
             raise
     else:
         for index in schedule:
+            ctx.check_cancelled()
             chunk, outcome, cost = decode(uris[index])
             ingest(index, chunk, outcome, cost)
 

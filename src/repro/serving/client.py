@@ -1,0 +1,102 @@
+"""A small blocking HTTP client for the serving front end.
+
+Used by the load benchmark and the tests; ``http.client`` handles the
+chunked transfer decoding, so callers just see the decoded JSON payload.
+Not a public SDK — any HTTP client works against the wire protocol.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["QueryResponse", "ServingClient"]
+
+
+@dataclass
+class QueryResponse:
+    """One decoded server response."""
+
+    status: int
+    payload: Any
+    retry_after: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    @property
+    def backpressure(self) -> bool:
+        """Shed by admission control or rate limiting (retryable)."""
+        return self.status in (429, 503)
+
+    @property
+    def rows(self) -> list[list]:
+        return self.payload["rows"] if self.ok else []
+
+    @property
+    def columns(self) -> list[str]:
+        return self.payload["columns"] if self.ok else []
+
+
+class ServingClient:
+    """One keep-alive connection to a :class:`SommelierServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_id: str | None = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self.client_id = client_id
+        self._connection = http.client.HTTPConnection(
+            host, port, timeout=timeout
+        )
+
+    def _headers(self) -> dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
+        return headers
+
+    def _round_trip(
+        self, method: str, path: str, body: str | None = None
+    ) -> QueryResponse:
+        self._connection.request(
+            method, path, body=body, headers=self._headers()
+        )
+        response = self._connection.getresponse()
+        raw = response.read()
+        retry_after_text = response.getheader("Retry-After")
+        try:
+            payload = json.loads(raw) if raw else None
+        except ValueError:
+            payload = {"error": f"undecodable body: {raw[:128]!r}"}
+        return QueryResponse(
+            status=response.status,
+            payload=payload,
+            retry_after=(
+                float(retry_after_text) if retry_after_text else None
+            ),
+        )
+
+    def query(self, sql: str) -> QueryResponse:
+        return self._round_trip("POST", "/query", json.dumps({"sql": sql}))
+
+    def stats(self) -> dict:
+        return self._round_trip("GET", "/stats").payload
+
+    def health(self) -> dict:
+        return self._round_trip("GET", "/health").payload
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,200 @@
+"""Minimal HTTP/1.1 over asyncio streams (stdlib only, CI-hermetic).
+
+Just enough protocol for the serving front end: request-line + header
+parsing with hard size limits, ``Content-Length`` bodies, JSON responses,
+and chunked transfer encoding so large result tables stream without being
+materialized as one bytes blob.  Keep-alive is supported (HTTP/1.1
+default); the server closes the connection on protocol errors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "ChunkedWriter",
+    "read_request",
+    "send_json",
+    "send_response",
+]
+
+MAX_HEADER_COUNT = 64
+MAX_HEADER_LINE = 8192
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A malformed or over-limit request; maps to a 4xx response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request (headers lower-cased, query string decoded)."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(reader, max_body_bytes: int) -> HttpRequest | None:
+    """Parse one request off the stream; None when the client closed."""
+    try:
+        line = await reader.readline()
+    except ValueError:  # StreamReader limit overrun
+        raise HttpError(400, "request line too long")
+    if not line:
+        return None
+    try:
+        method, target, version = line.decode("latin-1").strip().split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    while True:
+        if len(headers) > MAX_HEADER_COUNT:
+            raise HttpError(400, "too many headers")
+        try:
+            raw = await reader.readline()
+        except ValueError:
+            raise HttpError(400, "header line too long")
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        if len(raw) > MAX_HEADER_LINE:
+            raise HttpError(400, "header line too long")
+        name, separator, value = raw.decode("latin-1").partition(":")
+        if not separator:
+            raise HttpError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length")
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > max_body_bytes:
+            raise HttpError(413, f"request body over {max_body_bytes} bytes")
+        if length:
+            body = await reader.readexactly(length)
+
+    split = urlsplit(target)
+    return HttpRequest(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(
+    status: int,
+    headers: Mapping[str, str],
+) -> bytes:
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_response(
+    writer,
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Mapping[str, str] | None = None,
+) -> None:
+    headers = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+    }
+    if extra_headers:
+        headers.update(extra_headers)
+    writer.write(_head(status, headers) + body)
+    await writer.drain()
+
+
+async def send_json(
+    writer,
+    status: int,
+    payload: Any,
+    extra_headers: Mapping[str, str] | None = None,
+) -> None:
+    body = json.dumps(payload).encode("utf-8")
+    await send_response(writer, status, body, extra_headers=extra_headers)
+
+
+class ChunkedWriter:
+    """``Transfer-Encoding: chunked`` response writer.
+
+    ``start`` emits the head, each ``write`` one chunk (draining, so a slow
+    client exerts backpressure on the producer instead of buffering the
+    whole table), and ``finish`` the zero-length terminator that keeps the
+    connection reusable.
+    """
+
+    def __init__(self, writer) -> None:
+        self._writer = writer
+
+    async def start(
+        self,
+        status: int = 200,
+        content_type: str = "application/json",
+        extra_headers: Mapping[str, str] | None = None,
+    ) -> None:
+        headers = {
+            "Content-Type": content_type,
+            "Transfer-Encoding": "chunked",
+        }
+        if extra_headers:
+            headers.update(extra_headers)
+        self._writer.write(_head(status, headers))
+        await self._writer.drain()
+
+    async def write(self, data: bytes) -> None:
+        if not data:
+            return
+        self._writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+        await self._writer.drain()
+
+    async def finish(self) -> None:
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()

@@ -1,0 +1,71 @@
+"""Cooperative query cancellation via :class:`CancelToken`.
+
+The serving front end's request timeouts ride on this: setting the token
+makes the engine unwind at the next chunk boundary with
+:class:`QueryCancelled`, leaving the database consistent and reusable.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.data.ingv import EPOCH_2010_MS
+from repro.engine.errors import EngineError, QueryCancelled
+from repro.engine.physical import CancelToken
+
+MILLIS_PER_DAY = 24 * 3600 * 1000
+
+TWO_DAY_SQL = (
+    "SELECT COUNT(*) AS n FROM dataview "
+    f"WHERE F.station = 'ISK' AND D.sample_time >= {EPOCH_2010_MS} "
+    f"AND D.sample_time < {EPOCH_2010_MS + 2 * MILLIS_PER_DAY}"
+)
+
+
+def test_cancelled_is_an_engine_error():
+    # Servers catching EngineError must see cancellation unwinding too.
+    assert issubclass(QueryCancelled, EngineError)
+
+
+def test_preset_token_cancels_before_execution(lazy_db):
+    token = CancelToken()
+    token.cancel()
+    assert token.cancelled
+    with pytest.raises(QueryCancelled):
+        lazy_db.query(TWO_DAY_SQL, cancel=token)
+
+
+def test_mid_flight_cancel_unwinds_and_leaves_db_usable(lazy_db):
+    lazy_db.database.chunk_loader.io_delay_ms = 150.0
+    token = CancelToken()
+    outcome: list = []
+
+    def run():
+        try:
+            lazy_db.query(TWO_DAY_SQL, cancel=token)
+            outcome.append("completed")
+        except QueryCancelled:
+            outcome.append("cancelled")
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    token.cancel()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert outcome == ["cancelled"]
+
+    # The engine unwound cleanly: the same query still answers (and the
+    # next run does not inherit the old token).
+    lazy_db.database.chunk_loader.io_delay_ms = 0.0
+    result = lazy_db.query(TWO_DAY_SQL)
+    assert result.table.num_rows == 1
+
+
+def test_untouched_token_does_not_interfere(lazy_db):
+    token = CancelToken()
+    result = lazy_db.query(TWO_DAY_SQL, cancel=token)
+    assert result.table.num_rows == 1
+    (count_row,) = result.table.rows()
+    assert count_row[0] > 0

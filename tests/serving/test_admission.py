@@ -1,0 +1,150 @@
+"""Unit tests for the serving admission gates (fake clocks, no sockets)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionRejected,
+    ClientRateLimiter,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_take()
+        assert not bucket.try_take()
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token
+        assert bucket.try_take()
+
+    def test_retry_after_names_the_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, burst=1, clock=clock)
+        bucket.try_take()
+        assert bucket.retry_after() == pytest.approx(2.0)
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(100.0)
+        assert [bucket.try_take() for _ in range(3)] == [True, True, False]
+
+
+class TestClientRateLimiter:
+    def test_limited_client_does_not_block_others(self):
+        clock = FakeClock()
+        limiter = ClientRateLimiter(rate=1.0, burst=1, clock=clock)
+        limiter.check("greedy")
+        with pytest.raises(AdmissionRejected) as excinfo:
+            limiter.check("greedy")
+        assert excinfo.value.retry_after > 0
+        limiter.check("polite")  # unaffected
+
+    def test_disabled_when_rate_nonpositive(self):
+        limiter = ClientRateLimiter(rate=0.0, burst=1)
+        for _ in range(100):
+            limiter.check("anyone")
+
+    def test_lru_bounded_client_table(self):
+        clock = FakeClock()
+        limiter = ClientRateLimiter(
+            rate=1.0, burst=1, max_clients=2, clock=clock
+        )
+        limiter.check("a")
+        limiter.check("b")
+        limiter.check("c")  # evicts "a"
+        assert len(limiter._buckets) == 2
+        # "a" comes back with a fresh bucket rather than its spent one.
+        limiter.check("a")
+
+
+class TestAdmissionController:
+    def test_rejects_beyond_capacity_plus_queue(self):
+        async def scenario():
+            controller = AdmissionController(capacity=1, max_queue=0)
+            release = asyncio.Event()
+
+            async def occupant():
+                async with controller.admit():
+                    await release.wait()
+
+            task = asyncio.create_task(occupant())
+            await asyncio.sleep(0)  # let the occupant take the slot
+            assert controller.active == 1
+            with pytest.raises(AdmissionRejected) as excinfo:
+                async with controller.admit():
+                    pass
+            assert excinfo.value.retry_after > 0
+            assert controller.rejected_total == 1
+            release.set()
+            await task
+            # Slot free again: admission succeeds.
+            async with controller.admit():
+                assert controller.active == 1
+
+        asyncio.run(scenario())
+
+    def test_bounded_queue_admits_waiters(self):
+        async def scenario():
+            controller = AdmissionController(capacity=1, max_queue=1)
+            release = asyncio.Event()
+            order: list[str] = []
+
+            async def occupant(name: str):
+                async with controller.admit():
+                    order.append(name)
+                    await release.wait()
+
+            first = asyncio.create_task(occupant("first"))
+            await asyncio.sleep(0)
+
+            async def waiter():
+                async with controller.admit():
+                    order.append("waiter")
+
+            second = asyncio.create_task(waiter())
+            await asyncio.sleep(0)
+            assert controller.queued == 1
+            # One waiting + one active: the next arrival is shed.
+            with pytest.raises(AdmissionRejected):
+                async with controller.admit():
+                    pass
+            release.set()
+            await first
+            await second
+            assert order == ["first", "waiter"]
+            assert controller.admitted_total == 2
+
+        asyncio.run(scenario())
+
+    def test_stats_shape(self):
+        controller = AdmissionController(capacity=2, max_queue=4)
+        stats = controller.stats()
+        assert stats["capacity"] == 2
+        assert stats["max_queue"] == 4
+        assert stats["active"] == 0
+        assert stats["service_ewma_ms"] > 0
