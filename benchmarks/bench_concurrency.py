@@ -1,6 +1,6 @@
 """Concurrent query serving: client count × io_threads sweeps.
 
-Three experiments motivated by the ROADMAP's "heavy traffic" north star:
+Four experiments motivated by the ROADMAP's "heavy traffic" north star:
 
 * **cold-stage2** — one multi-chunk T4 query against a cold database per
   ``io_threads`` setting: the morsel-style parallel stage-two pipeline vs
@@ -15,7 +15,14 @@ Three experiments motivated by the ROADMAP's "heavy traffic" north star:
   (``XseedChunkLoader.io_delay_ms``), reproducing the paper's
   network-attached repository.  Here queries block on fetches, waits
   overlap across clients, and single-flight sharing kicks in — this is
-  the regime where concurrent serving is designed to win.
+  the regime where concurrent serving is designed to win;
+* **fanout** — N clients issue the *same* scan-heavy aggregate in
+  lockstep waves (the dashboard refresh pattern) against a warm
+  database, with ``shared_scan`` off then on.  With shared scans each
+  wave runs the chunk pass once and fans the assembled table out to
+  every consumer; the speedup column reports shared vs private at the
+  same client count.  Every client's every result is verified against a
+  serial baseline — any mismatch fails the benchmark run.
 
 Usage::
 
@@ -34,6 +41,7 @@ import hashlib
 import os
 import sys
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -46,6 +54,7 @@ from repro.core.loading import prepare  # noqa: E402
 from repro.core.two_stage import TwoStageOptions  # noqa: E402
 from repro.data import SCALE_SMALL, SCALE_TEST, build_or_reuse  # noqa: E402
 from repro.data.ingv import EPOCH_2010_MS, MILLIS_PER_DAY  # noqa: E402
+from repro.engine.types import format_timestamp  # noqa: E402
 from repro.workloads.generator import (  # noqa: E402
     TimeSpan,
     WorkloadSpec,
@@ -107,6 +116,47 @@ def measure_throughput(db, queries: list[str], clients: int) -> tuple[float, flo
     return wall, len(queries) / wall
 
 
+def fanout_query(span: TimeSpan) -> str:
+    """A scan-dominated aggregate over the whole actual-data table.
+
+    No metadata join: the warm cost is the chunk pass itself, which is
+    exactly what shared scans dedupe across a dashboard's fan-out.
+    """
+    return (
+        "SELECT AVG(D.sample_value) AS avg_value, "
+        "COUNT(D.sample_value) AS n_samples "
+        f"FROM D WHERE D.sample_time >= '{format_timestamp(span.start_ms)}' "
+        f"AND D.sample_time < '{format_timestamp(span.end_ms)}'"
+    )
+
+
+def measure_fanout(
+    db, sql: str, clients: int, rounds: int, expected: list[dict]
+) -> tuple[float, float, int]:
+    """Lockstep waves of the same query from N pooled clients.
+
+    Returns ``(wall_seconds, queries_per_second, mismatches)``; every
+    result is compared row-for-row against the serial baseline.
+    """
+    pool = db.session_pool(size=clients)
+    barriers = [threading.Barrier(clients) for _ in range(rounds)]
+    mismatches = [0] * clients
+
+    def client(slot: int) -> None:
+        with pool.session() as session:
+            for barrier in barriers:
+                barrier.wait()
+                rows = session.query(sql).table.to_dicts()
+                if rows != expected:
+                    mismatches[slot] += 1
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as executor:
+        list(executor.map(client, range(clients)))
+    wall = time.perf_counter() - started
+    return wall, clients * rounds / wall, sum(mismatches)
+
+
 def measure_cold_stage_two(
     repository, io_threads: int, span: TimeSpan, workdir: str
 ) -> tuple[float, int]:
@@ -135,7 +185,7 @@ def measure_cold_stage_two(
         db.close()
 
 
-def run(args: argparse.Namespace) -> ReportTable:
+def run(args: argparse.Namespace) -> tuple[ReportTable, int]:
     repository, stats = build_or_reuse(
         args.base, args.sf, SCALES[args.scale], fiam_only=False
     )
@@ -224,16 +274,55 @@ def run(args: argparse.Namespace) -> ReportTable:
         finally:
             db.close()
 
+        # -- shared-scan fan-out (dashboard regime) ---------------------
+        # The same scan-heavy aggregate from every client in lockstep
+        # waves, warm; shared_scan=True runs each wave's chunk pass once.
+        sql = fanout_query(span)
+        mismatches = 0
+        baselines: dict[int, float] = {}
+        for shared in (False, True):
+            db, _ = prepare(
+                "lazy",
+                repository,
+                workdir=os.path.join(workdir, f"fanout{int(shared)}"),
+                options=TwoStageOptions(io_threads=1, shared_scan=shared),
+            )
+            try:
+                expected = db.query(sql).table.to_dicts()  # warm + baseline
+                for clients in args.clients:
+                    if clients < 2 and shared:
+                        continue  # nobody to share with
+                    wall, qps, bad = measure_fanout(
+                        db, sql, clients, args.fanout_rounds, expected
+                    )
+                    mismatches += bad
+                    if not shared:
+                        baselines[clients] = qps
+                    table.add_row(
+                        "fanout shared" if shared else "fanout private",
+                        clients, 1, clients * args.fanout_rounds,
+                        round(wall, 4), round(qps, 2),
+                        round(qps / baselines[clients], 2),
+                    )
+            finally:
+                db.close()
+
     table.add_note(
         "speedup: cold-stage2 rows vs the first io_threads value; "
-        "throughput rows vs the first client count"
+        "throughput rows vs the first client count; fanout rows vs "
+        "fanout private at the same client count"
     )
+    if mismatches:
+        table.add_note(
+            f"FANOUT MISMATCHES: {mismatches} result(s) differed from the "
+            "serial baseline"
+        )
     table.add_note(
         "warm = recycler holds the working set (pure-CPU regime, bounded "
         "by cores/GIL); remote = capped recycler + modeled fetch latency "
         "(the latency-bound regime concurrent serving targets)"
     )
-    return table
+    return table, mismatches
 
 
 def parse_int_list(text: str) -> list[int]:
@@ -257,6 +346,10 @@ def main(argv: list[str] | None = None) -> int:
         help="modeled remote-repository fetch latency per chunk",
     )
     parser.add_argument(
+        "--fanout-rounds", type=int, default=15,
+        help="lockstep waves per client count in the fanout experiment",
+    )
+    parser.add_argument(
         "--remote-recycler-bytes", type=int, default=512 * 1024,
         help="recycler budget for the remote experiment (below working set)",
     )
@@ -277,13 +370,21 @@ def main(argv: list[str] | None = None) -> int:
         args.clients = [1, 2, 4]
         args.io_threads = [1, 4]
         args.queries_per_station = 2
+        args.fanout_rounds = 5
         args.sf = 1
         args.scale = "test"
 
-    table = run(args)
+    table, mismatches = run(args)
     text_path = table.emit("concurrency.txt")
     json_path = table.save_json(args.out)
     print(f"\nsaved to {text_path} and {json_path}")
+    if mismatches:
+        print(
+            f"FAILED: {mismatches} fanout result(s) differed from the "
+            "serial baseline",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

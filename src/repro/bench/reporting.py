@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -49,6 +50,7 @@ class ReportTable:
     headers: Sequence[str]
     rows: list[Sequence[Any]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, *values: Any) -> None:
         if len(values) != len(self.headers):
@@ -59,6 +61,10 @@ class ReportTable:
 
     def add_note(self, note: str) -> None:
         self.notes.append(note)
+
+    def add_metadata(self, **entries: Any) -> None:
+        """Attach experiment-specific keys to the JSON artifact."""
+        self.metadata.update(entries)
 
     def render(self) -> str:
         cells = [[str(h) for h in self.headers]]
@@ -81,12 +87,23 @@ class ReportTable:
         return "\n".join(lines)
 
     def to_json(self) -> dict[str, Any]:
-        """The machine-readable shape of this table (CI artifacts)."""
+        """The machine-readable shape of this table (CI artifacts).
+
+        Every artifact carries host metadata — scaling results (clients ×
+        io_threads, shared scans) are meaningless without the core count
+        they ran on.
+        """
         return {
             "title": self.title,
             "headers": list(self.headers),
             "rows": [list(row) for row in self.rows],
             "notes": list(self.notes),
+            "metadata": {
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                **self.metadata,
+            },
         }
 
     def save(self, filename: str, root: str | None = None) -> str:

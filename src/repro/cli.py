@@ -106,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the semantic result recycler (repeats and subsumed "
         "queries are served without re-executing)",
     )
+    query.add_argument(
+        "--shared-scan", action="store_true",
+        help="co-schedule overlapping concurrent scans so each chunk is "
+        "fetched and decoded once per wave",
+    )
 
     explain = commands.add_parser(
         "explain",
@@ -154,6 +159,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--result-cache", action="store_true",
         help="enable the semantic result recycler and report its counters",
     )
+    cache.add_argument(
+        "--shared-scan", action="store_true",
+        help="co-schedule overlapping concurrent scans and report counters",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -199,6 +208,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--result-cache", action="store_true",
         help="enable the semantic result recycler",
+    )
+    serve.add_argument(
+        "--shared-scan", action="store_true",
+        help="co-schedule overlapping concurrent scans so each chunk is "
+        "fetched and decoded once per wave",
     )
 
     bench = commands.add_parser(
@@ -328,6 +342,8 @@ def _two_stage_options(args: argparse.Namespace):
         option_kwargs["executor"] = args.executor
     if getattr(args, "result_cache", False):
         option_kwargs["result_cache"] = True
+    if getattr(args, "shared_scan", False):
+        option_kwargs["shared_scan"] = True
     return TwoStageOptions(**option_kwargs) if option_kwargs else None
 
 

@@ -124,6 +124,7 @@ def rewrite_actual_scans(
     io_threads: int = 1,
     executor: str = "thread",
     prune_chunks: bool = True,
+    shared: bool = False,
 ) -> algebra.LogicalPlan:
     """Replace scans of actual-data tables by planned chunk access paths.
 
@@ -180,6 +181,7 @@ def rewrite_actual_scans(
             pushed_predicate=predicate,
             io_threads=io_threads,
             executor=executor,
+            shared=shared,
         )
 
     def transform(node: algebra.LogicalPlan) -> algebra.LogicalPlan:
@@ -241,6 +243,7 @@ def make_runtime_optimizer(
     executor: str = "thread",
     push_selections: bool = True,
     prune_chunks: bool = True,
+    shared: bool = False,
 ):
     """Build the callback installed into ``CallRuntimeOptimizer``."""
 
@@ -271,6 +274,7 @@ def make_runtime_optimizer(
                     io_threads=io_threads,
                     executor=executor,
                     prune_chunks=prune_chunks,
+                    shared=shared,
                 )
                 new_tail.append(EvalPlan(instruction.var, rewritten))
             else:

@@ -70,6 +70,8 @@ class SommelierStats:
     chunks_loaded_total: int = 0
     result_cache_hits: int = 0
     result_cache_subsumed: int = 0
+    shared_scan_attached: int = 0
+    chunks_shared: int = 0
 
     def merge(self, other: "SommelierStats") -> None:
         self.queries_executed += other.queries_executed
@@ -78,6 +80,8 @@ class SommelierStats:
         self.chunks_loaded_total += other.chunks_loaded_total
         self.result_cache_hits += other.result_cache_hits
         self.result_cache_subsumed += other.result_cache_subsumed
+        self.shared_scan_attached += other.shared_scan_attached
+        self.chunks_shared += other.chunks_shared
 
     @classmethod
     def delta_from(
@@ -96,6 +100,8 @@ class SommelierStats:
         delta.chunks_loaded_total += result.stats.chunks_loaded
         delta.result_cache_hits = result.stats.results_from_cache
         delta.result_cache_subsumed = result.stats.results_subsumed
+        delta.shared_scan_attached = result.stats.shared_scan_attached
+        delta.chunks_shared = result.stats.chunks_shared
         return delta
 
 
@@ -488,11 +494,15 @@ class SommelierDB:
                 "chunks_loaded_total": self.stats.chunks_loaded_total,
                 "result_cache_hits": self.stats.result_cache_hits,
                 "result_cache_subsumed": self.stats.result_cache_subsumed,
+                "shared_scan_attached": self.stats.shared_scan_attached,
+                "chunks_shared": self.stats.chunks_shared,
             }
         return snapshot
 
     def planner_stats(self) -> dict:
         """Cumulative planner + prefetch counters (``repro cache``)."""
+        from ..mseed import steim_kernels
+
         stats: dict = {
             "planner": self.database.chunk_planner.stats_snapshot(),
             "chunk_stats": {
@@ -502,6 +512,12 @@ class SommelierDB:
                     for entry in self.database.chunk_stats.snapshot().values()
                     if entry.enriched
                 ),
+            },
+            "shared_scan": self.database.shared_scans.stats_snapshot(),
+            "decode_kernel": {
+                "active": steim_kernels.active_kernel(),
+                "available": list(steim_kernels.available_kernels()),
+                "numba": steim_kernels.NUMBA_AVAILABLE,
             },
         }
         if self.prefetcher is not None:

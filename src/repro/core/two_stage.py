@@ -78,6 +78,13 @@ class TwoStageOptions:
     history and warms the recycler asynchronously; ``prefetch_depth`` caps
     how far ahead it reaches.
 
+    ``shared_scan`` routes stage-two chunk scans through the database's
+    :class:`~repro.engine.shared_scan.SharedScanScheduler`: concurrent
+    queries whose chunk plans overlap attach to one scan pass per table
+    and each chunk is materialized once per wave (results stay
+    bit-identical to private scans).  Off by default — single-client
+    benchmarks must measure private-scan cost.
+
     ``result_cache`` enables the facade-level semantic result recycler
     (:mod:`repro.core.result_cache`): finished query results are cached by
     normalized plan fingerprint, exact repeats skip both stages, and a
@@ -95,6 +102,7 @@ class TwoStageOptions:
     push_selections_into_chunks: bool = True
     infer_time_bounds: bool = True
     prune_chunks: bool = True
+    shared_scan: bool = False
     prefetch: bool = False
     prefetch_depth: int = 2
     result_cache: bool = False
@@ -286,6 +294,7 @@ class TwoStageCompiler:
             executor=self.options.executor,
             push_selections=self.options.push_selections_into_chunks,
             prune_chunks=self.options.prune_chunks,
+            shared=self.options.shared_scan,
         )
         program = MalProgram(
             [

@@ -422,6 +422,7 @@ class ParallelChunkScan(LogicalPlan):
         pushed_predicate: Expression | None = None,
         io_threads: int = 4,
         executor: str = "thread",
+        shared: bool = False,
     ) -> None:
         from .chunk_planner import ChunkPlan
 
@@ -439,6 +440,10 @@ class ParallelChunkScan(LogicalPlan):
         # decodes through the database's spawn-based worker pool over the
         # shared on-disk chunk store (GIL-free stage two).
         self.executor = executor
+        # Route through the database's SharedScanScheduler: concurrent
+        # scans of the same table share chunk materialization, predicate
+        # masks and assemblies (bit-identical results by construction).
+        self.shared = shared
 
     @property
     def uris(self) -> tuple[str, ...]:
@@ -455,6 +460,8 @@ class ParallelChunkScan(LogicalPlan):
         )
         if self.plan.pruned:
             suffix = f", pruned={len(self.plan.pruned)}{suffix}"
+        if self.shared:
+            suffix = f", shared{suffix}"
         return (
             f"ParallelChunkScan({len(self.uris)} chunks, "
             f"io_threads={self.io_threads}, executor={self.executor}{suffix})"

@@ -37,6 +37,7 @@ from .column import Column
 from .errors import CatalogError, ExecutionError
 from .indexes import HashIndex, JoinIndex
 from .recycler import Recycler
+from .shared_scan import SharedScanScheduler
 from .storage import BufferPool, PagedColumnStore
 from .table import Field, Schema, Table
 from .types import INT64
@@ -119,6 +120,10 @@ class Database:
         # cost-orders stage-two chunk fetches against them.
         self.chunk_stats = ChunkStatsCatalog()
         self.chunk_planner = ChunkPlanner(self)
+        # Cooperative scan passes: concurrent queries whose chunk plans
+        # overlap share materialization when the plan node asks for it
+        # (TwoStageOptions(shared_scan=True)).
+        self.shared_scans = SharedScanScheduler(self)
         self.hash_indexes: dict[tuple[str, tuple[str, ...]], HashIndex] = {}
         self.join_indexes: list[JoinIndex] = []
         # Cumulative seconds spent decoding chunks, for loading-cost reports.

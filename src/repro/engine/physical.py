@@ -87,6 +87,10 @@ class ExecStats:
     chunks_prefetched: int = 0
     chunk_rows_loaded: int = 0
     chunk_load_seconds: float = 0.0
+    # Shared-scan outcomes: this query attached to an already-running scan
+    # pass / consumed chunks another attached query materialized.
+    shared_scan_attached: int = 0
+    chunks_shared: int = 0
     joins_executed: int = 0
     join_index_hits: int = 0
     rows_joined: int = 0
@@ -104,6 +108,8 @@ class ExecStats:
         self.chunks_prefetched = 0
         self.chunk_rows_loaded = 0
         self.chunk_load_seconds = 0.0
+        self.shared_scan_attached = 0
+        self.chunks_shared = 0
         self.joins_executed = 0
         self.join_index_hits = 0
         self.rows_joined = 0
@@ -119,6 +125,8 @@ class ExecStats:
         self.chunks_prefetched += other.chunks_prefetched
         self.chunk_rows_loaded += other.chunk_rows_loaded
         self.chunk_load_seconds += other.chunk_load_seconds
+        self.shared_scan_attached += other.shared_scan_attached
+        self.chunks_shared += other.chunks_shared
         self.joins_executed += other.joins_executed
         self.join_index_hits += other.join_index_hits
         self.rows_joined += other.rows_joined
@@ -286,6 +294,11 @@ def _execute_parallel_chunk_scan(
     if not plan.uris:
         return Table.empty(plan.schema)
     database = ctx.database
+    if plan.shared:
+        # Cooperative path: concurrent scans of this table share chunk
+        # materialization, predicate masks and assemblies through the
+        # database's scheduler (bit-identical to the private path below).
+        return database.shared_scans.execute(plan, ctx)
 
     use_processes = (
         plan.executor == "process"

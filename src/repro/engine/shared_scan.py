@@ -1,0 +1,438 @@
+"""Shared chunk scans: one physical pass over a chunk feeds many queries.
+
+The recycler already single-flights the *decode* of a chunk; under N
+concurrent dashboard clients the warm path still pays N× for everything
+after it — schema alignment, predicate masks, filtered pieces and the
+final assembly.  This module extends the single-flight idea from decode
+to the whole scan pass (the cooperative/shared scans of MonetDB-lineage
+systems the ROADMAP names):
+
+* A :class:`_ScanPass` exists per actual-data table while at least one
+  consumer is scanning it.  Queries whose
+  :class:`~repro.engine.chunk_planner.ChunkPlan` overlaps attach to the
+  same pass; a consumer attaching while others are active is counted in
+  ``ExecStats.shared_scan_attached``.
+* Within a pass, each chunk URI has at most one *delivery*: the first
+  consumer to reach an unclaimed URI becomes its owner, materializes the
+  chunk once (through the recycler, so decode stays single-flight and
+  tier accounting is unchanged) and publishes it; every other consumer
+  waits for the publication instead of re-materializing, counted in
+  ``ExecStats.chunks_shared``.  Consumers claim their whole fetch
+  schedule up front, so concurrent overlapping queries *partition* the
+  URI set and a wave of N queries does ~1× chunk work in total.  Late
+  arrivals attach mid-pass and only materialize chunks no delivery
+  covers yet.
+* Each consumer applies its own residual predicate; filtered pieces are
+  memoized per delivery keyed by ``(predicate.key(), schema)`` so *equal*
+  predicates share the mask-and-filter work too.  Whole assemblies (piece
+  concatenation in plan order) are single-flighted per pass: for the
+  identical-query fan-out a dashboard produces, one consumer runs the
+  pass and the rest wait for the finished table, skipping the per-chunk
+  work entirely.
+* A delivery abandoned by its owner (cancellation, load failure) is
+  re-claimed by the next consumer that needs it: one consumer's
+  :class:`~repro.engine.errors.QueryCancelled` never poisons the others.
+  An owner that unwinds abandons every claimed-but-unpublished delivery
+  eagerly, so waiters never block on a dead owner.
+
+The pass dies when its last consumer detaches (wave semantics): shared
+state lives only as long as somebody is scanning, so memoized pieces can
+never outlive the recycler's view of the data by more than one wave.
+
+Results are bit-identical to private scans by construction: pieces are
+filtered with the same pushed predicate and concatenated in the same
+assembly (plan) order as :func:`~repro.engine.physical` does privately;
+owned chunks are fetched in the plan's schedule order through the same
+shared I/O pool when ``io_threads > 1``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import as_completed
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .errors import ExecutionError
+from .table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from . import algebra
+    from .database import Database
+    from .physical import ExecutionContext
+
+__all__ = ["SharedScanScheduler"]
+
+# How often waiters wake to honor their own CancelToken while another
+# consumer materializes a chunk for them.
+_CANCEL_POLL_SECONDS = 0.05
+
+
+class _Delivery:
+    """Single-flight production of one chunk within one scan pass."""
+
+    __slots__ = ("uri", "event", "chunk", "error", "pieces")
+
+    def __init__(self, uri: str) -> None:
+        self.uri = uri
+        self.event = threading.Event()
+        self.chunk: Table | None = None
+        self.error: BaseException | None = None
+        # (predicate key | None, schema names) -> aligned+filtered piece.
+        self.pieces: dict[tuple, Table] = {}
+
+    @property
+    def published(self) -> bool:
+        return self.event.is_set() and self.error is None
+
+    def publish(self, chunk: Table) -> None:
+        self.chunk = chunk
+        self.event.set()
+
+    def abandon(self, error: BaseException) -> None:
+        if not self.event.is_set():
+            self.error = error
+            self.event.set()
+
+
+class _Assembly:
+    """Single-flight construction of one whole scan result within a pass.
+
+    The identical-query fan-out (N dashboard clients issuing the same
+    query) needs more than shared chunks: with deliveries alone every
+    consumer still gathers pieces and concatenates them privately.  The
+    first consumer to reach an assembly key becomes its owner and runs
+    the pass; the rest wait for the finished table and skip the per-chunk
+    work entirely.
+    """
+
+    __slots__ = ("event", "table", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.table: Table | None = None
+        self.error: BaseException | None = None
+
+    @property
+    def published(self) -> bool:
+        return self.event.is_set() and self.error is None
+
+    def publish(self, table: Table) -> None:
+        self.table = table
+        self.event.set()
+
+    def abandon(self, error: BaseException) -> None:
+        if not self.event.is_set():
+            self.error = error
+            self.event.set()
+
+
+class _ScanPass:
+    """Shared state of every consumer currently scanning one table."""
+
+    __slots__ = ("table_name", "lock", "consumers", "deliveries", "assemblies")
+
+    def __init__(self, table_name: str) -> None:
+        self.table_name = table_name
+        self.lock = threading.Lock()
+        self.consumers = 0
+        self.deliveries: dict[str, _Delivery] = {}
+        # (uris, predicate key | None, schema names) -> single-flight
+        # assembly of the whole scan result.
+        self.assemblies: dict[tuple, _Assembly] = {}
+
+
+class SharedScanScheduler:
+    """Co-schedules overlapping ``ParallelChunkScan``s, one pass per table.
+
+    Owned by a :class:`~repro.engine.database.Database`;
+    :func:`~repro.engine.physical` routes a scan here when its plan node
+    carries ``shared=True`` (the ``TwoStageOptions(shared_scan=True)``
+    gate).
+    """
+
+    def __init__(self, database: "Database") -> None:
+        self.database = database
+        self._lock = threading.Lock()
+        self._passes: dict[str, _ScanPass] = {}
+        # Cumulative counters for counters_snapshot() / the benchmarks.
+        self._passes_started = 0
+        self._consumers_total = 0
+        self._consumers_attached = 0
+        self._deliveries_produced = 0
+        self._deliveries_shared = 0
+        self._assemblies_shared = 0
+
+    # -- monitoring --------------------------------------------------------
+
+    def stats_snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "passes_started": self._passes_started,
+                "consumers_total": self._consumers_total,
+                "consumers_attached": self._consumers_attached,
+                "deliveries_produced": self._deliveries_produced,
+                "deliveries_shared": self._deliveries_shared,
+                "assemblies_shared": self._assemblies_shared,
+            }
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self, plan: "algebra.ParallelChunkScan", ctx: "ExecutionContext"
+    ) -> Table:
+        """Run one consumer's scan through the table's shared pass."""
+        if not plan.uris:
+            return Table.empty(plan.schema)
+        with self._lock:
+            scan_pass = self._passes.get(plan.table_name)
+            if scan_pass is None:
+                scan_pass = _ScanPass(plan.table_name)
+                self._passes[plan.table_name] = scan_pass
+                self._passes_started += 1
+            elif scan_pass.consumers > 0:
+                ctx.stats.shared_scan_attached += 1
+                self._consumers_attached += 1
+            self._consumers_total += 1
+            scan_pass.consumers += 1
+        try:
+            return self._consume(scan_pass, plan, ctx)
+        finally:
+            with self._lock:
+                scan_pass.consumers -= 1
+                if scan_pass.consumers == 0:
+                    # Last consumer out ends the wave; the next arrival
+                    # starts a fresh pass (decode stays warm in the
+                    # recycler, only the scan-level memos are dropped).
+                    if self._passes.get(plan.table_name) is scan_pass:
+                        del self._passes[plan.table_name]
+
+    def _consume(
+        self,
+        scan_pass: _ScanPass,
+        plan: "algebra.ParallelChunkScan",
+        ctx: "ExecutionContext",
+    ) -> Table:
+        predicate_key = (
+            plan.pushed_predicate.key()
+            if plan.pushed_predicate is not None
+            else None
+        )
+        names = tuple(plan.schema.names)
+        assembly_key = (plan.uris, predicate_key, names)
+        while True:
+            with scan_pass.lock:
+                assembly = scan_pass.assemblies.get(assembly_key)
+                if assembly is None or assembly.error is not None:
+                    assembly = _Assembly()
+                    scan_pass.assemblies[assembly_key] = assembly
+                    owner = True
+                else:
+                    owner = False
+            if owner:
+                try:
+                    result = self._run_pass(
+                        scan_pass, plan, ctx, predicate_key, names
+                    )
+                except BaseException as exc:
+                    assembly.abandon(exc)
+                    raise
+                assembly.publish(result)
+                return result
+            # The identical-query fan-out: another consumer of this wave is
+            # assembling exactly this scan; wait for the finished table.
+            while not assembly.event.wait(_CANCEL_POLL_SECONDS):
+                ctx.check_cancelled()
+            if assembly.published:
+                assert assembly.table is not None
+                ctx.stats.chunks_shared += len(plan.uris)
+                with self._lock:
+                    self._assemblies_shared += 1
+                return assembly.table
+            # The assembler unwound without publishing: take over.
+
+    def _run_pass(
+        self,
+        scan_pass: _ScanPass,
+        plan: "algebra.ParallelChunkScan",
+        ctx: "ExecutionContext",
+        predicate_key: tuple | None,
+        names: tuple[str, ...],
+    ) -> Table:
+        uris = plan.uris
+        schedule = plan.plan.fetch_order or tuple(range(len(uris)))
+        # Claim phase: sweep the whole schedule first, so concurrent
+        # consumers partition the chunk set instead of colliding one URI
+        # at a time.
+        owned: list[tuple[int, _Delivery]] = []
+        joined: list[tuple[int, _Delivery]] = []
+        with scan_pass.lock:
+            for index in schedule:
+                uri = uris[index]
+                delivery = scan_pass.deliveries.get(uri)
+                if delivery is None or delivery.error is not None:
+                    delivery = _Delivery(uri)
+                    scan_pass.deliveries[uri] = delivery
+                    owned.append((index, delivery))
+                else:
+                    joined.append((index, delivery))
+
+        pieces: list[Table | None] = [None] * len(uris)
+
+        def finish(index: int, delivery: _Delivery) -> None:
+            pieces[index] = self._piece(delivery, plan, predicate_key, names)
+
+        try:
+            self._materialize_owned(plan, ctx, owned, finish)
+        except BaseException as exc:
+            for _, delivery in owned:
+                delivery.abandon(exc)
+            raise
+        for index, delivery in joined:
+            finish(index, self._await_delivery(scan_pass, delivery, plan, ctx))
+
+        return Table.concat_all([p for p in pieces if p is not None])
+
+    def _materialize_owned(
+        self,
+        plan: "algebra.ParallelChunkScan",
+        ctx: "ExecutionContext",
+        owned: list[tuple[int, _Delivery]],
+        finish,
+    ) -> None:
+        """Produce every claimed chunk, publishing each as it lands.
+
+        Mirrors the private scheduler: fetches are issued in schedule
+        order — through the database's shared I/O pool when the plan asks
+        for parallelism — while accounting and piece building stay on the
+        query thread.
+        """
+        from .physical import _record_chunk_outcome
+
+        database = self.database
+
+        def produce(delivery: _Delivery) -> tuple[Table, str, float]:
+            try:
+                chunk, outcome, cost = database.recycler.get_or_load(
+                    delivery.uri,
+                    lambda u: database.load_chunk(u, plan.table_name),
+                )
+            except BaseException as exc:
+                delivery.abandon(exc)
+                raise
+            delivery.publish(chunk)
+            return chunk, outcome, cost
+
+        if plan.io_threads > 1 and len(owned) > 1:
+            executor = database.io_executor(plan.io_threads)
+            futures = {
+                executor.submit(produce, delivery): (index, delivery)
+                for index, delivery in owned
+            }
+            try:
+                for future in as_completed(futures):
+                    ctx.check_cancelled()
+                    chunk, outcome, cost = future.result()
+                    index, delivery = futures[future]
+                    _record_chunk_outcome(
+                        ctx, delivery.uri, chunk, outcome, cost
+                    )
+                    with self._lock:
+                        self._deliveries_produced += 1
+                    finish(index, delivery)
+            except BaseException:
+                for pending in futures:
+                    pending.cancel()
+                raise
+        else:
+            for index, delivery in owned:
+                ctx.check_cancelled()
+                chunk, outcome, cost = produce(delivery)
+                _record_chunk_outcome(ctx, delivery.uri, chunk, outcome, cost)
+                with self._lock:
+                    self._deliveries_produced += 1
+                finish(index, delivery)
+
+    def _await_delivery(
+        self,
+        scan_pass: _ScanPass,
+        delivery: _Delivery,
+        plan: "algebra.ParallelChunkScan",
+        ctx: "ExecutionContext",
+    ) -> _Delivery:
+        """Wait for another consumer's delivery, re-claiming if abandoned."""
+        from .physical import _record_chunk_outcome
+
+        database = self.database
+        while True:
+            # Owner progress wakes us immediately; the timeout only bounds
+            # how long our own cancel token can go unchecked.
+            while not delivery.event.wait(_CANCEL_POLL_SECONDS):
+                ctx.check_cancelled()
+            if delivery.published:
+                if delivery.chunk is None:  # pragma: no cover - defensive
+                    raise ExecutionError(
+                        f"shared scan delivery of {delivery.uri!r} "
+                        "published no chunk"
+                    )
+                ctx.stats.chunks_shared += 1
+                with self._lock:
+                    self._deliveries_shared += 1
+                return delivery
+            # The owner unwound without publishing: take over (or join a
+            # newer claimant's delivery).
+            with scan_pass.lock:
+                current = scan_pass.deliveries.get(delivery.uri)
+                if current is None or current.error is not None:
+                    current = _Delivery(delivery.uri)
+                    scan_pass.deliveries[delivery.uri] = current
+                    owned = True
+                else:
+                    owned = False
+                delivery = current
+            if owned:
+                ctx.check_cancelled()
+                try:
+                    chunk, outcome, cost = database.recycler.get_or_load(
+                        delivery.uri,
+                        lambda u: database.load_chunk(u, plan.table_name),
+                    )
+                except BaseException as exc:
+                    delivery.abandon(exc)
+                    raise
+                delivery.publish(chunk)
+                _record_chunk_outcome(ctx, delivery.uri, chunk, outcome, cost)
+                with self._lock:
+                    self._deliveries_produced += 1
+                return delivery
+
+    def _piece(
+        self,
+        delivery: _Delivery,
+        plan: "algebra.ParallelChunkScan",
+        predicate_key: tuple | None,
+        names: tuple[str, ...],
+    ) -> Table:
+        """This consumer's aligned+filtered view of a delivered chunk.
+
+        Memoized per delivery: consumers with the same pushed predicate
+        and schema share the mask evaluation and filtered piece, not just
+        the decoded chunk.  Recomputing under a race is harmless (both
+        sides produce identical tables), so the memo rides on the
+        GIL-atomicity of single dict operations instead of a lock.
+        """
+        from .physical import _align_chunk
+
+        piece_key = (predicate_key, names)
+        piece = delivery.pieces.get(piece_key)
+        if piece is not None:
+            return piece
+        assert delivery.chunk is not None
+        piece = _align_chunk(delivery.chunk, plan.schema)
+        if plan.pushed_predicate is not None:
+            mask = np.asarray(
+                plan.pushed_predicate.evaluate(piece), dtype=np.bool_
+            )
+            piece = piece.filter(mask)
+        return delivery.pieces.setdefault(piece_key, piece)

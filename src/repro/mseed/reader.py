@@ -103,21 +103,22 @@ def read_metadata(path: str) -> FileMetadata:
 
 def read_samples(path: str) -> list[SegmentSamples]:
     """Full decode of every segment (the chunk-access full-load strategy)."""
-    results: list[SegmentSamples] = []
     with open_chunk(path) as handle:
         volume, segments = _read_headers(handle)
+        payloads = []
         for header, offset in segments:
             handle.seek(offset)
-            payload = handle.read(header.payload_bytes)
-            values = steim.decode(payload)
-            if len(values) != header.sample_count:
-                raise FormatError(
-                    f"{path}: segment {header.segment_no} decoded "
-                    f"{len(values)} samples, header says {header.sample_count}"
-                )
-            results.append(
-                SegmentSamples(header, sample_times(header), values)
+            payloads.append(handle.read(header.payload_bytes))
+    # One batched kernel pass over the whole chunk's segments.
+    decoded = steim.decode_many(payloads)
+    results: list[SegmentSamples] = []
+    for (header, _), values in zip(segments, decoded):
+        if len(values) != header.sample_count:
+            raise FormatError(
+                f"{path}: segment {header.segment_no} decoded "
+                f"{len(values)} samples, header says {header.sample_count}"
             )
+        results.append(SegmentSamples(header, sample_times(header), values))
     return results
 
 
@@ -143,16 +144,19 @@ def read_samples_in_range(
     Segment headers serve as zonemaps: a segment whose [start, end) interval
     misses ``[start_ms, end_ms)`` is skipped without touching its payload.
     """
-    results: list[SegmentSamples] = []
     with open_chunk(path) as handle:
         volume, segments = _read_headers(handle)
+        selected: list[SegmentHeader] = []
+        payloads: list[bytes] = []
         for header, offset in segments:
             if start_ms is not None and header.end_time_ms <= start_ms:
                 continue
             if end_ms is not None and header.start_time_ms >= end_ms:
                 continue
             handle.seek(offset)
-            payload = handle.read(header.payload_bytes)
-            values = steim.decode(payload)
-            results.append(SegmentSamples(header, sample_times(header), values))
-    return results
+            selected.append(header)
+            payloads.append(handle.read(header.payload_bytes))
+    return [
+        SegmentSamples(header, sample_times(header), values)
+        for header, values in zip(selected, steim.decode_many(payloads))
+    ]

@@ -15,6 +15,13 @@ sample while the decompressed form expands by an order of magnitude — the
 size asymmetry behind the paper's Table III.
 
 All encode/decode paths are NumPy-vectorized; nothing loops per sample.
+Decoding is two-phase: a cheap header scan builds a *frame table* (per-frame
+width, count and offsets), then one of the :mod:`repro.mseed.steim_kernels`
+kernels unpacks every frame — equal-width groups in single vectorized
+operations on the default numpy kernel, a JIT bit-loop when numba is
+installed.  :func:`decode_many` batches the scan and unpack across several
+payloads (a chunk's segments) so per-call overhead is paid once per chunk,
+which is what the engine's chunk scans call.
 """
 
 from __future__ import annotations
@@ -24,11 +31,13 @@ import struct
 import numpy as np
 
 from ..engine.errors import FormatError
+from . import steim_kernels
 
-__all__ = ["encode", "decode", "FRAME_SAMPLES"]
+__all__ = ["encode", "decode", "decode_many", "FRAME_SAMPLES"]
 
 FRAME_SAMPLES = 512
 _HEADER = struct.Struct("<IQ")  # sample count, first value (zigzagged)
+_FRAME_HEADER = struct.Struct("<BH")  # bit width, value count
 
 
 def _zigzag(values: np.ndarray) -> np.ndarray:
@@ -39,9 +48,10 @@ def _zigzag(values: np.ndarray) -> np.ndarray:
 
 def _unzigzag(codes: np.ndarray) -> np.ndarray:
     unsigned = codes.astype(np.uint64, copy=False)
-    return ((unsigned >> 1).astype(np.int64)) ^ -(
-        (unsigned & 1).astype(np.int64)
-    )
+    # (u >> 1) ^ -(u & 1), computed wholly in uint64 (two's-complement
+    # wraparound is the sign extension) and reinterpreted — no int casts.
+    flip = np.uint64(0) - (unsigned & np.uint64(1))
+    return ((unsigned >> np.uint64(1)) ^ flip).view(np.int64)
 
 
 def _pack_frame(codes: np.ndarray) -> bytes:
@@ -56,22 +66,46 @@ def _pack_frame(codes: np.ndarray) -> bytes:
     return struct.pack("<BH", width, len(codes)) + packed.tobytes()
 
 
-def _unpack_frame(payload: bytes, offset: int) -> tuple[np.ndarray, int]:
-    if offset + 3 > len(payload):
-        raise FormatError("truncated steim frame header")
-    width, count = struct.unpack_from("<BH", payload, offset)
-    offset += 3
-    if width == 0:
-        return np.zeros(count, dtype=np.uint64), offset
-    nbytes = (count * width + 7) // 8
-    if offset + nbytes > len(payload):
-        raise FormatError("truncated steim frame payload")
-    raw = np.frombuffer(payload, dtype=np.uint8, count=nbytes, offset=offset)
-    bits = np.unpackbits(raw, bitorder="little")[: count * width]
-    matrix = bits.reshape(count, width).astype(np.uint64)
-    weights = np.uint64(1) << np.arange(width, dtype=np.uint64)
-    codes = (matrix * weights).sum(axis=1, dtype=np.uint64)
-    return codes, offset + nbytes
+def _scan_frames(
+    payload: bytes,
+    count: int,
+    base: int,
+    delta_base: int,
+    frames: list[tuple[int, int, int, int]],
+) -> None:
+    """Phase one of decode: walk frame headers, no payload bytes touched.
+
+    Appends ``(width, count, buffer offset, output offset)`` rows to the
+    shared frame table; offsets are global (``base`` is where this payload
+    starts in the concatenated buffer, ``delta_base`` where its deltas
+    start in the flat code array).  Validates framing exhaustively: header
+    and payload truncation, delta-count mismatch, and trailing bytes after
+    the last frame.
+    """
+    offset = _HEADER.size
+    decoded = 0
+    while decoded < count - 1:
+        if offset + _FRAME_HEADER.size > len(payload):
+            raise FormatError("truncated steim frame header")
+        width, values = _FRAME_HEADER.unpack_from(payload, offset)
+        offset += _FRAME_HEADER.size
+        if values == 0:
+            raise FormatError("empty steim frame")
+        nbytes = (values * width + 7) // 8
+        if offset + nbytes > len(payload):
+            raise FormatError("truncated steim frame payload")
+        frames.append((width, values, base + offset, delta_base + decoded))
+        offset += nbytes
+        decoded += values
+    if count and decoded != count - 1:
+        raise FormatError(
+            f"steim payload decoded {decoded} deltas, expected {count - 1}"
+        )
+    if offset != len(payload):
+        raise FormatError(
+            f"steim payload has {len(payload) - offset} trailing byte(s) "
+            "after the last frame"
+        )
 
 
 def encode(samples: np.ndarray) -> bytes:
@@ -92,29 +126,65 @@ def encode(samples: np.ndarray) -> bytes:
 
 def decode(payload: bytes) -> np.ndarray:
     """Decompress back to the original int64 sample array."""
-    if len(payload) < _HEADER.size:
-        raise FormatError("truncated steim header")
-    count, first_zz = _HEADER.unpack_from(payload, 0)
-    if count == 0:
-        return np.empty(0, dtype=np.int64)
-    first = int(_unzigzag(np.asarray([first_zz], dtype=np.uint64))[0])
-    offset = _HEADER.size
-    frames: list[np.ndarray] = []
-    decoded = 0
-    while decoded < count - 1:
-        codes, offset = _unpack_frame(payload, offset)
-        frames.append(codes)
-        decoded += len(codes)
-    if decoded != count - 1:
-        raise FormatError(
-            f"steim payload decoded {decoded} deltas, expected {count - 1}"
-        )
+    return decode_many([payload])[0]
+
+
+def decode_many(payloads: "list[bytes] | tuple[bytes, ...]") -> list[np.ndarray]:
+    """Decompress a batch of payloads in one kernel pass.
+
+    The batch entry point of the codec: all frame headers across all
+    payloads are scanned first, the concatenated frame table goes through
+    the active decode kernel once (so equal-width frames of *different*
+    payloads still share vectorized unpacks), and zigzag/cumsum
+    reconstruction runs over the flat delta array.  Chunk readers hand a
+    whole chunk's segment payloads here to amortize per-call overhead.
+    """
+    if not payloads:
+        return []
+    # Phase 1: header scan — frame table + per-payload reconstruction specs.
+    frames: list[tuple[int, int, int, int]] = []
+    specs: list[tuple[int, int, int]] = []  # (count, first_zz, delta offset)
+    base = 0
+    total_deltas = 0
+    for payload in payloads:
+        if len(payload) < _HEADER.size:
+            raise FormatError("truncated steim header")
+        count, first_zz = _HEADER.unpack_from(payload, 0)
+        _scan_frames(payload, count, base, total_deltas, frames)
+        specs.append((count, first_zz, total_deltas))
+        total_deltas += max(count - 1, 0)
+        base += len(payload)
+
+    # Phase 2: one kernel pass over every frame of every payload.
     if frames:
-        deltas = _unzigzag(np.concatenate(frames))
+        buf = (
+            np.frombuffer(payloads[0], dtype=np.uint8)
+            if len(payloads) == 1
+            else np.frombuffer(b"".join(payloads), dtype=np.uint8)
+        )
+        table = np.asarray(frames, dtype=np.int64)
+        codes = steim_kernels.unpack_frames(
+            buf, table[:, 0], table[:, 1], table[:, 2], table[:, 3],
+            total_deltas,
+        )
+        deltas = _unzigzag(codes)
+    else:
+        deltas = np.empty(0, dtype=np.int64)
+
+    # Phase 3: per-payload zigzag first value + cumulative sum.
+    results: list[np.ndarray] = []
+    for count, first_zz, delta_offset in specs:
+        if count == 0:
+            results.append(np.empty(0, dtype=np.int64))
+            continue
+        first = int(_unzigzag(np.asarray([first_zz], dtype=np.uint64))[0])
         samples = np.empty(count, dtype=np.int64)
         samples[0] = first
-        np.cumsum(deltas, out=samples[1:])
-        samples[1:] += first
-    else:
-        samples = np.asarray([first], dtype=np.int64)
-    return samples
+        if count > 1:
+            np.cumsum(
+                deltas[delta_offset : delta_offset + count - 1],
+                out=samples[1:],
+            )
+            samples[1:] += first
+        results.append(samples)
+    return results
