@@ -111,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="co-schedule overlapping concurrent scans so each chunk is "
         "fetched and decoded once per wave",
     )
+    query.add_argument(
+        "--shards", type=int, default=None,
+        help="partition stage two across N shard worker processes "
+        "(scatter-gather; 0 disables)",
+    )
 
     explain = commands.add_parser(
         "explain",
@@ -163,6 +168,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shared-scan", action="store_true",
         help="co-schedule overlapping concurrent scans and report counters",
     )
+    cache.add_argument(
+        "--shards", type=int, default=None,
+        help="partition stage two across N shard worker processes and "
+        "report the coordinator's counters",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -213,6 +223,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shared-scan", action="store_true",
         help="co-schedule overlapping concurrent scans so each chunk is "
         "fetched and decoded once per wave",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=None,
+        help="partition stage two across N shard worker processes "
+        "(scatter-gather; 0 disables)",
     )
 
     bench = commands.add_parser(
@@ -344,6 +359,8 @@ def _two_stage_options(args: argparse.Namespace):
         option_kwargs["result_cache"] = True
     if getattr(args, "shared_scan", False):
         option_kwargs["shared_scan"] = True
+    if getattr(args, "shards", None) is not None:
+        option_kwargs["shards"] = args.shards
     return TwoStageOptions(**option_kwargs) if option_kwargs else None
 
 

@@ -77,6 +77,11 @@ class WorkloadPrefetcher:
         self.table_name = table_name
         self.depth = max(1, depth)
         self.io_threads = max(1, io_threads)
+        # Optional warming override ``(uri, table_name) -> None``: sharded
+        # databases route warm-ups to the chunk's owning shard worker (the
+        # parent recycler never serves sharded scans, so warming it would
+        # waste memory without ever producing a hit).
+        self.warm_via = None
         self.stats = PrefetchStats()
         self._lock = threading.Lock()
         # Per-session history, bounded: long-running serving creates an
@@ -191,6 +196,18 @@ class WorkloadPrefetcher:
         with self._lock:
             return self.stats.as_dict()
 
+    def invalidate_warmed(self) -> int:
+        """Forget every warmed URI; returns how many were dropped.
+
+        Called when the shard layout changes: the warmed bookkeeping would
+        otherwise credit hits for chunks that now live in (and must be
+        re-warmed into) a different shard's recycler.
+        """
+        with self._lock:
+            dropped = len(self._warmed)
+            self._warmed.clear()
+        return dropped
+
     # -- prediction --------------------------------------------------------
 
     def _predict(self, session_id: int, required_uris: list[str]) -> list[str]:
@@ -291,10 +308,14 @@ class WorkloadPrefetcher:
 
     def _warm_one(self, uri: str) -> None:
         database = self.database
+        warm_via = self.warm_via
         try:
-            database.recycler.get_or_load(
-                uri, lambda u: database.load_chunk(u, self.table_name)
-            )
+            if warm_via is not None:
+                warm_via(uri, self.table_name)
+            else:
+                database.recycler.get_or_load(
+                    uri, lambda u: database.load_chunk(u, self.table_name)
+                )
         except Exception:
             with self._lock:
                 self.stats.failed += 1

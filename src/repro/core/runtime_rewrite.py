@@ -125,6 +125,7 @@ def rewrite_actual_scans(
     executor: str = "thread",
     prune_chunks: bool = True,
     shared: bool = False,
+    shards: int = 0,
 ) -> algebra.LogicalPlan:
     """Replace scans of actual-data tables by planned chunk access paths.
 
@@ -182,6 +183,7 @@ def rewrite_actual_scans(
             io_threads=io_threads,
             executor=executor,
             shared=shared,
+            shards=shards,
         )
 
     def transform(node: algebra.LogicalPlan) -> algebra.LogicalPlan:
@@ -244,6 +246,7 @@ def make_runtime_optimizer(
     push_selections: bool = True,
     prune_chunks: bool = True,
     shared: bool = False,
+    shards: int = 0,
 ):
     """Build the callback installed into ``CallRuntimeOptimizer``."""
 
@@ -275,6 +278,7 @@ def make_runtime_optimizer(
                     executor=executor,
                     prune_chunks=prune_chunks,
                     shared=shared,
+                    shards=shards,
                 )
                 new_tail.append(EvalPlan(instruction.var, rewritten))
             else:

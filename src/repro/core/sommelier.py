@@ -72,6 +72,8 @@ class SommelierStats:
     result_cache_subsumed: int = 0
     shared_scan_attached: int = 0
     chunks_shared: int = 0
+    shard_subplans: int = 0
+    chunks_from_shards: int = 0
 
     def merge(self, other: "SommelierStats") -> None:
         self.queries_executed += other.queries_executed
@@ -82,6 +84,8 @@ class SommelierStats:
         self.result_cache_subsumed += other.result_cache_subsumed
         self.shared_scan_attached += other.shared_scan_attached
         self.chunks_shared += other.chunks_shared
+        self.shard_subplans += other.shard_subplans
+        self.chunks_from_shards += other.chunks_from_shards
 
     @classmethod
     def delta_from(
@@ -102,6 +106,8 @@ class SommelierStats:
         delta.result_cache_subsumed = result.stats.results_subsumed
         delta.shared_scan_attached = result.stats.shared_scan_attached
         delta.chunks_shared = result.stats.chunks_shared
+        delta.shard_subplans = result.stats.shard_subplans
+        delta.chunks_from_shards = result.stats.chunks_from_shards
         return delta
 
 
@@ -154,6 +160,14 @@ class SommelierDB:
         self._derivation_lock = threading.Lock()
         self._session_counter = 0
         self._closed = False
+        # Shard-layout generation last reconciled with the caches: when the
+        # coordinator's epoch moves past it (shard count changed), cached
+        # results and warmed-URI bookkeeping reference the old layout and
+        # are invalidated before the next query runs.
+        self._shard_epoch_seen = 0
+        # Shard layout recovered from a checkpoint (applied by open()).
+        self._restored_sharding = None
+        self._wire_prefetcher()
 
     # -- construction ----------------------------------------------------------
 
@@ -214,7 +228,52 @@ class SommelierDB:
         # even a crash that lost the checkpoint: adopt them so the planner
         # can prune by value without re-decoding anything.
         db.database.adopt_store_stats()
+        # Checkpointed shard layout: a caller that leaves ``shards`` at 0
+        # inherits the layout the closing process ran with, so the reopened
+        # database scatters to the same shard stores (per-shard warm
+        # restart).  Explicit caller options always win.
+        restored = db._restored_sharding
+        if (
+            restored is not None
+            and db.options.shards == 0
+            and not db.options.shared_scan
+        ):
+            db._apply_shards(restored.shards, bucket_ms=restored.bucket_ms)
+        elif db.options.shards and db.database.chunk_loader is not None:
+            db.database.sharding(db.options.shards)
         return db
+
+    def _apply_shards(self, shards: int, bucket_ms: int | None = None) -> None:
+        """Switch this facade to sharded stage two (checkpoint restore)."""
+        import dataclasses
+
+        self.options = dataclasses.replace(self.options, shards=int(shards))
+        self.compiler = TwoStageCompiler(self.database, self.config, self.options)
+        self.views = PartialViewManager(
+            self.database, self.config, self.compiler, self.lazy
+        )
+        if self.database.chunk_loader is not None:
+            self.database.sharding(self.options.shards, bucket_ms=bucket_ms)
+        self._wire_prefetcher()
+
+    def _wire_prefetcher(self) -> None:
+        """Point prefetch warm-ups at the right cache for the current mode.
+
+        Sharded databases warm the owning shard worker's recycler (the
+        parent recycler never serves sharded scans); unsharded ones keep
+        the classic parent-recycler warm path.
+        """
+        if self.prefetcher is None:
+            return
+        if self.options.shards > 0:
+            shards = self.options.shards
+
+            def warm_in_shard(uri: str, table_name: str) -> None:
+                self.database.sharding(shards).warm_chunk(uri, table_name)
+
+            self.prefetcher.warm_via = warm_in_shard
+        else:
+            self.prefetcher.warm_via = None
 
     # -- durability ------------------------------------------------------------
 
@@ -236,6 +295,19 @@ class SommelierDB:
         # Per-chunk statistics ride in the same durable pointers file, so a
         # reopened database prunes as well as the one that closed.
         pointers["chunk_stats"] = self.database.chunk_stats.to_json()
+        # The shard layout is two parameters — placement is a pure hash —
+        # so checkpointing {shards, bucket_ms} is enough for a reopened
+        # database to route every chunk back to the shard that spilled it.
+        coordinator = self.database.shard_coordinator
+        if coordinator is not None:
+            pointers["sharding"] = coordinator.layout.to_json()
+        elif self.options.shards:
+            from ..engine.sharding import DEFAULT_BUCKET_MS
+
+            pointers["sharding"] = {
+                "shards": self.options.shards,
+                "bucket_ms": DEFAULT_BUCKET_MS,
+            }
         for base in self.database.catalog.tables():
             if base.paged and self.database.paged_store.has_table(base.name):
                 # Pages are already on disk (page_out wrote them); record
@@ -273,6 +345,11 @@ class SommelierDB:
                 loader.assign(uri, int(file_id))
             self.database.set_chunk_loader(loader)
         self.database.chunk_stats.load_json(pointers.get("chunk_stats"))
+        from ..engine.sharding import ShardLayout
+
+        self._restored_sharding = ShardLayout.from_json(
+            pointers.get("sharding")
+        )
         for spec in pointers.get("tables", []):
             name = spec["name"]
             base = self.database.catalog.table(name)
@@ -292,6 +369,11 @@ class SommelierDB:
     ) -> RegistrarReport:
         """Eagerly load the given metadata of every chunk (Registrar)."""
         report = Registrar(self.database, threads=threads).register(repository)
+        if self.options.shards and self.database.chunk_loader is not None:
+            # Materialize the coordinator now so its layout epoch is
+            # established before the first query (a lazily created
+            # coordinator would look like a layout change one query later).
+            self.database.sharding(self.options.shards)
         if self.result_cache is not None:
             # New chunks can extend any cached answer: results computed
             # before the registration are no longer trustworthy.
@@ -327,6 +409,7 @@ class SommelierDB:
             raise ExecutionError("database is closed")
         if cancel is not None:
             cancel.raise_if_cancelled()
+        self._reconcile_shard_epoch()
         plan = self.bind(sql)
         # Derivation inserts into H; serialize it so concurrent queries for
         # overlapping windows cannot double-materialize (single-stage
@@ -391,6 +474,29 @@ class SommelierDB:
         self._account(result, derivation)
         result.seconds += derivation.seconds
         return result, derivation
+
+    def _reconcile_shard_epoch(self) -> None:
+        """Invalidate layout-dependent caches after a shard-layout change.
+
+        A window insert (or any write) routed under one layout leaves
+        cached results and warmed-URI bookkeeping that silently reference
+        the old chunk placement; when the coordinator's epoch moves, both
+        are dropped wholesale before the next query is served.
+        """
+        coordinator = self.database.shard_coordinator
+        if coordinator is None:
+            return
+        epoch = coordinator.layout_epoch
+        if epoch == self._shard_epoch_seen:
+            return
+        with self._stats_lock:
+            if epoch == self._shard_epoch_seen:
+                return
+            self._shard_epoch_seen = epoch
+        if self.result_cache is not None:
+            self.result_cache.invalidate_all()
+        if self.prefetcher is not None:
+            self.prefetcher.invalidate_warmed()
 
     def session(self) -> "SommelierSession":
         """A per-client handle with its own stats over this shared database."""
@@ -496,6 +602,8 @@ class SommelierDB:
                 "result_cache_subsumed": self.stats.result_cache_subsumed,
                 "shared_scan_attached": self.stats.shared_scan_attached,
                 "chunks_shared": self.stats.chunks_shared,
+                "shard_subplans": self.stats.shard_subplans,
+                "chunks_from_shards": self.stats.chunks_from_shards,
             }
         return snapshot
 
@@ -520,6 +628,18 @@ class SommelierDB:
                 "numba": steim_kernels.NUMBA_AVAILABLE,
             },
         }
+        coordinator = self.database.shard_coordinator
+        if coordinator is not None:
+            stats["sharding"] = coordinator.stats_snapshot()
+            # Each worker reports the kernel it actually decodes with, so a
+            # parent/worker divergence (e.g. numba importable in only one
+            # of them) is visible instead of silent.
+            stats["decode_kernel"]["shard_workers"] = {
+                str(shard): kernel
+                for shard, kernel in sorted(
+                    coordinator.worker_kernels().items()
+                )
+            }
         if self.prefetcher is not None:
             stats["prefetch"] = self.prefetcher.stats_snapshot()
         if self.result_cache is not None:

@@ -91,6 +91,15 @@ class TwoStageOptions:
     cached result whose bounds cover a new query answers it by
     re-filtering; ``result_cache_bytes`` is its budget.  Off by default —
     the experiments that measure stage costs must re-execute.
+
+    ``shards`` > 0 routes stage-two chunk scans through the scatter-gather
+    coordinator (:mod:`repro.engine.sharding`): the catalog is partitioned
+    by (station, time-bucket) hash into that many shard worker processes,
+    each owning its own chunk store + recycler, and per-shard sub-plans run
+    in parallel with results merged bit-identically to serial order.  When
+    set it overrides ``executor``/``io_threads`` for chunk scans, and it
+    cannot be combined with ``shared_scan`` (both reorganize the same scan
+    dispatch).  0 (the default) disables sharding.
     """
 
     EXECUTORS = ("thread", "process")
@@ -107,12 +116,20 @@ class TwoStageOptions:
     prefetch_depth: int = 2
     result_cache: bool = False
     result_cache_bytes: int = 256 * 1024 * 1024
+    shards: int = 0
 
     def __post_init__(self) -> None:
         if self.executor not in self.EXECUTORS:
             raise PlanError(
                 f"unknown stage-two executor {self.executor!r}; "
                 f"choose from {self.EXECUTORS}"
+            )
+        if self.shards < 0:
+            raise PlanError("shards must be >= 0 (0 disables sharding)")
+        if self.shards and self.shared_scan:
+            raise PlanError(
+                "shared_scan and shards cannot be combined: both take over "
+                "stage-two chunk dispatch"
             )
 
     @property
@@ -295,6 +312,7 @@ class TwoStageCompiler:
             push_selections=self.options.push_selections_into_chunks,
             prune_chunks=self.options.prune_chunks,
             shared=self.options.shared_scan,
+            shards=self.options.shards,
         )
         program = MalProgram(
             [

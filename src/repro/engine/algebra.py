@@ -423,6 +423,7 @@ class ParallelChunkScan(LogicalPlan):
         io_threads: int = 4,
         executor: str = "thread",
         shared: bool = False,
+        shards: int = 0,
     ) -> None:
         from .chunk_planner import ChunkPlan
 
@@ -444,6 +445,11 @@ class ParallelChunkScan(LogicalPlan):
         # scans of the same table share chunk materialization, predicate
         # masks and assemblies (bit-identical results by construction).
         self.shared = shared
+        # Scatter-gather over N shard worker processes, each owning a
+        # partition of the chunk stats catalog plus its own chunk store and
+        # recycler.  0 disables sharding; when > 0 it overrides the
+        # executor/io_threads knobs for this scan.
+        self.shards = shards
 
     @property
     def uris(self) -> tuple[str, ...]:
@@ -462,6 +468,8 @@ class ParallelChunkScan(LogicalPlan):
             suffix = f", pruned={len(self.plan.pruned)}{suffix}"
         if self.shared:
             suffix = f", shared{suffix}"
+        if self.shards:
+            suffix = f", shards={self.shards}{suffix}"
         return (
             f"ParallelChunkScan({len(self.uris)} chunks, "
             f"io_threads={self.io_threads}, executor={self.executor}{suffix})"

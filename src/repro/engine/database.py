@@ -152,6 +152,11 @@ class Database:
         self._retired_process_executors: list[ProcessPoolExecutor] = []
         self._process_executor_lock = threading.Lock()
         self._load_accounting_lock = threading.Lock()
+        # Scatter-gather coordinator for sharded stage two: created on the
+        # first sharded scan (or on reopen of a sharded checkpoint) and
+        # rebuilt when the requested shard count changes.
+        self.shard_coordinator = None
+        self._shard_lock = threading.Lock()
 
     # -- scanning -----------------------------------------------------------
 
@@ -232,6 +237,9 @@ class Database:
         self.chunk_loader = loader
         # Any live process pool holds a pickled snapshot of the old loader.
         self.reset_process_executor()
+        with self._shard_lock:
+            if self.shard_coordinator is not None:
+                self.shard_coordinator.reset_pools()
 
     def io_executor(self, threads: int) -> ThreadPoolExecutor:
         """The shared chunk-I/O pool, grown to at least ``threads`` workers.
@@ -289,6 +297,39 @@ class Database:
                 )
                 self._process_executor_workers = workers
             return self._process_executor
+
+    def sharding(self, shards: int, bucket_ms: int | None = None):
+        """The scatter-gather coordinator for ``shards`` shard workers.
+
+        Created lazily; asking for a different shard count (or bucket
+        width) rebuilds the coordinator and bumps its ``layout_epoch`` so
+        layout-dependent bookkeeping upstream (result cache, prefetcher
+        warmed set) knows to invalidate.  Shard stores live under
+        ``<workdir>/shards/`` and survive coordinator rebuilds.
+        """
+        from .sharding import DEFAULT_BUCKET_MS, ScatterGatherCoordinator
+
+        shards = int(shards)
+        if shards < 1:
+            raise ExecutionError("sharded execution needs at least one shard")
+        wanted_bucket = int(bucket_ms) if bucket_ms else DEFAULT_BUCKET_MS
+        with self._shard_lock:
+            coordinator = self.shard_coordinator
+            if (
+                coordinator is None
+                or coordinator.shards != shards
+                or coordinator.layout.bucket_ms != wanted_bucket
+            ):
+                epoch = 1
+                if coordinator is not None:
+                    epoch = coordinator.layout_epoch + 1
+                    coordinator.close()
+                coordinator = ScatterGatherCoordinator(
+                    self, shards, bucket_ms=wanted_bucket
+                )
+                coordinator.layout_epoch = epoch
+                self.shard_coordinator = coordinator
+            return coordinator
 
     def _retire_process_executor(self, pool: ProcessPoolExecutor) -> None:
         # Caller holds self._process_executor_lock.  Unlike retired thread
@@ -506,6 +547,10 @@ class Database:
         return self._tempdir is None
 
     def close(self) -> None:
+        with self._shard_lock:
+            if self.shard_coordinator is not None:
+                self.shard_coordinator.close()
+                self.shard_coordinator = None
         with self._process_executor_lock:
             for retired in self._retired_process_executors:
                 retired.shutdown(wait=False)

@@ -91,6 +91,10 @@ class ExecStats:
     # pass / consumed chunks another attached query materialized.
     shared_scan_attached: int = 0
     chunks_shared: int = 0
+    # Scatter-gather outcomes: sub-plans dispatched to shard workers and
+    # chunks whose filtered rows came back from them.
+    shard_subplans: int = 0
+    chunks_from_shards: int = 0
     joins_executed: int = 0
     join_index_hits: int = 0
     rows_joined: int = 0
@@ -110,6 +114,8 @@ class ExecStats:
         self.chunk_load_seconds = 0.0
         self.shared_scan_attached = 0
         self.chunks_shared = 0
+        self.shard_subplans = 0
+        self.chunks_from_shards = 0
         self.joins_executed = 0
         self.join_index_hits = 0
         self.rows_joined = 0
@@ -127,6 +133,8 @@ class ExecStats:
         self.chunk_load_seconds += other.chunk_load_seconds
         self.shared_scan_attached += other.shared_scan_attached
         self.chunks_shared += other.chunks_shared
+        self.shard_subplans += other.shard_subplans
+        self.chunks_from_shards += other.chunks_from_shards
         self.joins_executed += other.joins_executed
         self.join_index_hits += other.join_index_hits
         self.rows_joined += other.rows_joined
@@ -294,6 +302,12 @@ def _execute_parallel_chunk_scan(
     if not plan.uris:
         return Table.empty(plan.schema)
     database = ctx.database
+    if plan.shards > 0:
+        # Scatter-gather path: the plan is split by the shard layout and
+        # executed inside shard worker processes, each owning its own
+        # chunk store + recycler; the coordinator merges filtered pieces
+        # back in plan (assembly) order, bit-identical to the serial path.
+        return database.sharding(plan.shards).execute(plan, ctx)
     if plan.shared:
         # Cooperative path: concurrent scans of this table share chunk
         # materialization, predicate masks and assemblies through the

@@ -1,0 +1,475 @@
+"""Sharded scatter-gather execution over partitioned chunk stores.
+
+The shared-nothing rung of the scale-out ladder: the stats catalog is
+partitioned by hash on ``(station, time-bucket)`` into N shards, each owned
+by one long-lived worker process with its own on-disk
+:class:`~repro.engine.chunk_store.ChunkStore`, its own budgeted
+:class:`~repro.engine.recycler.Recycler` and its own Steim decode kernels
+(see :mod:`~repro.engine.shard_worker`).  Stage one still runs once in the
+parent — metadata never moves — and the :class:`ScatterGatherCoordinator`
+splits the planner's cost-ordered :class:`~repro.engine.chunk_planner.
+ChunkPlan` into per-shard sub-plans, dispatches them, and merges the
+filtered pieces back in the plan's assembly order, so sharded results are
+bit-identical to serial execution by construction.
+
+Placement is *deterministic*: a chunk's shard is the stable hash of its
+station and time bucket (day granularity by default), so assignments
+survive restarts without persisting a chunk→shard map — the checkpoint
+records only ``{shards, bucket_ms}`` and every worker finds its own chunks
+spilled in its own store.  Chunks not (yet) described by the F/S metadata
+hash on their URI instead, which is equally stable.
+
+One single-worker spawn pool per shard guarantees task→shard affinity (a
+shared pool would route tasks to whichever worker is free, scattering each
+shard's working set across every process).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import threading
+import uuid
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING
+
+from . import shard_worker
+from .errors import ExecutionError, QueryCancelled, StorageError
+from .table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from . import algebra
+    from .chunk_planner import ChunkPlan
+    from .database import Database
+    from .physical import ExecutionContext
+
+__all__ = ["DEFAULT_BUCKET_MS", "ShardLayout", "ScatterGatherCoordinator"]
+
+# Day-granularity time buckets: one mseed file covers one instrument-day in
+# the paper's repository layout, so (station, day) is the natural unit.
+DEFAULT_BUCKET_MS = 24 * 3600 * 1000
+
+
+def _stable_hash(text: str) -> int:
+    """A process- and restart-stable 64-bit hash (``hash()`` is salted)."""
+    return int.from_bytes(hashlib.md5(text.encode("utf-8")).digest()[:8], "big")
+
+
+class ShardLayout:
+    """Deterministic chunk placement by (station, time-bucket) hash.
+
+    The layout indexes the F/S metadata tables (like the prefetcher's
+    successor index) to learn each chunk URI's station and earliest start
+    time; the index refreshes whenever the registered file count changes.
+    Only the parameters — shard count and bucket width — are persisted; the
+    assignment function is pure, so a reopened database routes every chunk
+    to the same shard that spilled it.
+    """
+
+    def __init__(self, shards: int, bucket_ms: int = DEFAULT_BUCKET_MS) -> None:
+        if shards < 1:
+            raise StorageError("shard layout needs at least one shard")
+        if bucket_ms < 1:
+            raise StorageError("shard time bucket must be positive")
+        self.shards = int(shards)
+        self.bucket_ms = int(bucket_ms)
+        self._lock = threading.Lock()
+        # uri -> (station, bucket) partition keys from the metadata tables.
+        self._keys: dict[str, tuple[str, int]] = {}
+        self._indexed_files = -1
+
+    def shard_of(self, uri: str) -> int:
+        """The owning shard of a chunk URI (stable across restarts)."""
+        with self._lock:
+            key = self._keys.get(uri)
+        if key is None:
+            # Not described by F/S (ad-hoc URI): hash the URI itself —
+            # still deterministic, so placement never flaps.
+            return _stable_hash(uri) % self.shards
+        station, bucket = key
+        return _stable_hash(f"{station}|{bucket}") % self.shards
+
+    def refresh(self, database: "Database") -> None:
+        """(Re)build the URI → partition-key index from F and S."""
+        try:
+            files = database.catalog.table("F").data
+            segments = database.catalog.table("S").data
+        except Exception:
+            return  # no metadata tables: URI-hash placement still works
+        if files.num_rows == self._indexed_files:
+            return
+        start_by_file: dict[int, int] = {}
+        if segments.num_rows:
+            file_ids = segments.column("file_id").values
+            starts = segments.column("start_time").values
+            for row in range(len(file_ids)):
+                file_id = int(file_ids[row])
+                start = int(starts[row])
+                previous = start_by_file.get(file_id)
+                if previous is None or start < previous:
+                    start_by_file[file_id] = start
+        keys: dict[str, tuple[str, int]] = {}
+        for row in range(files.num_rows):
+            start = start_by_file.get(int(files.column("file_id")[row]))
+            if start is None:
+                continue
+            keys[files.column("uri")[row]] = (
+                str(files.column("station")[row]),
+                start // self.bucket_ms,
+            )
+        with self._lock:
+            self._keys = keys
+            self._indexed_files = files.num_rows
+
+    def split(
+        self, plan: "ChunkPlan"
+    ) -> dict[int, tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Partition a chunk plan; returns shard → (assembly, fetch) indexes.
+
+        Both tuples hold *global* indexes into ``plan.chunks`` restricted
+        to the shard: the first in the plan's assembly order, the second in
+        its scheduled fetch order, so each shard preserves the global
+        discipline within its slice.
+        """
+        owners = [self.shard_of(chunk.uri) for chunk in plan.chunks]
+        assembly: dict[int, list[int]] = {}
+        for index, owner in enumerate(owners):
+            assembly.setdefault(owner, []).append(index)
+        schedule = plan.fetch_order or tuple(range(len(plan.chunks)))
+        fetch: dict[int, list[int]] = {owner: [] for owner in assembly}
+        for index in schedule:
+            fetch[owners[index]].append(index)
+        return {
+            owner: (tuple(assembly[owner]), tuple(fetch[owner]))
+            for owner in assembly
+        }
+
+    def to_json(self) -> dict[str, int]:
+        """The checkpointable parameters (placement itself is pure)."""
+        return {"shards": self.shards, "bucket_ms": self.bucket_ms}
+
+    @classmethod
+    def from_json(cls, payload: object) -> "ShardLayout | None":
+        """Parse a checkpointed layout; None for anything malformed."""
+        if not isinstance(payload, dict):
+            return None
+        try:
+            shards = int(payload["shards"])
+            bucket_ms = int(payload.get("bucket_ms", DEFAULT_BUCKET_MS))
+        except (KeyError, TypeError, ValueError):
+            return None
+        if shards < 1 or bucket_ms < 1:
+            return None
+        return cls(shards, bucket_ms)
+
+
+class ScatterGatherCoordinator:
+    """Parent-side dispatcher: split, scatter, cancel, gather, merge.
+
+    Owns one single-worker spawn pool per shard (created lazily, reset on
+    loader change or worker crash) and the accounting bridge: workers ship
+    per-chunk outcome receipts and worker-computed column ranges, which the
+    coordinator folds into the parent's ``ExecStats`` and chunk-statistics
+    catalog — the parent never materializes a sharded chunk itself.
+    """
+
+    # How often the gather loop polls for cancellation (seconds).
+    _POLL_SECONDS = 0.05
+
+    def __init__(
+        self,
+        database: "Database",
+        shards: int,
+        bucket_ms: int = DEFAULT_BUCKET_MS,
+    ) -> None:
+        self.database = database
+        self.shards = int(shards)
+        self.layout = ShardLayout(self.shards, bucket_ms)
+        self.root = os.path.join(database.workdir, "shards")
+        self._cancel_dir = os.path.join(self.root, ".cancel")
+        self._pools: dict[int, ProcessPoolExecutor] = {}
+        self._pool_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._worker_kernels: dict[int, str] = {}
+        # Bumped by Database.sharding() when the shard count changes, so
+        # the façade can invalidate layout-dependent bookkeeping.
+        self.layout_epoch = 1
+        self.queries = 0
+        self.subplans = 0
+        self.chunks_routed = 0
+        self.worker_crashes = 0
+        self.cancel_broadcasts = 0
+
+    # -- worker pools ------------------------------------------------------
+
+    def shard_store_root(self, shard_id: int) -> str:
+        return os.path.join(self.root, f"shard-{shard_id:02d}", "chunks")
+
+    def _pool(self, shard_id: int) -> ProcessPoolExecutor:
+        loader = self.database.chunk_loader
+        if loader is None:
+            raise ExecutionError(
+                "sharded execution needs a chunk loader; "
+                "register a repository first"
+            )
+        with self._pool_lock:
+            pool = self._pools.get(shard_id)
+            if pool is None:
+                from ..mseed import steim_kernels
+
+                budget = max(
+                    1, self.database.recycler.budget_bytes // self.shards
+                )
+                pool = ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=multiprocessing.get_context("spawn"),
+                    initializer=shard_worker.initialize_shard_worker,
+                    initargs=(
+                        shard_id,
+                        loader,
+                        self.shard_store_root(shard_id),
+                        budget,
+                        steim_kernels.active_kernel(),
+                        self.database.recycler.spill_on_evict,
+                    ),
+                )
+                self._pools[shard_id] = pool
+            return pool
+
+    def _reset_pool(self, shard_id: int) -> None:
+        with self._pool_lock:
+            pool = self._pools.pop(shard_id, None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def reset_pools(self) -> None:
+        """Retire every worker (the loader snapshot they hold is stale)."""
+        with self._pool_lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def warm_pools(self) -> dict[int, str]:
+        """Spawn every shard worker up front; returns their active kernels."""
+        ready = {}
+        futures = {
+            self._pool(shard_id).submit(shard_worker.shard_worker_ready):
+                shard_id
+            for shard_id in range(self.shards)
+        }
+        for future in futures:
+            shard_id, kernel = future.result()
+            ready[shard_id] = kernel
+        with self._stats_lock:
+            self._worker_kernels.update(ready)
+        return ready
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self, plan: "algebra.ParallelChunkScan", ctx: "ExecutionContext"
+    ) -> Table:
+        """Run one planned chunk scan across the shards and merge the rows."""
+        self.layout.refresh(self.database)
+        chunk_plan = plan.plan
+        split = self.layout.split(chunk_plan)
+        cancel_path = self._make_cancel_path() if ctx.cancel is not None else None
+        futures: dict[object, tuple[int, tuple[int, ...]]] = {}
+        failures: list[tuple[int, BaseException]] = []
+        for shard_id, (assembly, fetch) in sorted(split.items()):
+            local_of = {global_i: local_i
+                        for local_i, global_i in enumerate(assembly)}
+            task = shard_worker.ShardTask(
+                table_name=plan.table_name,
+                uris=tuple(chunk_plan.uris[i] for i in assembly),
+                fetch_order=tuple(local_of[i] for i in fetch),
+                column_names=tuple(plan.schema.names),
+                predicate=plan.pushed_predicate,
+                cancel_path=cancel_path,
+            )
+            try:
+                future = self._pool(shard_id).submit(
+                    shard_worker.execute_shard_plan, task
+                )
+            except BrokenProcessPool as exc:
+                # A worker that died *idle* (between queries) surfaces at
+                # submit time; fold it into the same clean-failure path as
+                # a mid-plan death.
+                failures.append((shard_id, exc))
+                continue
+            futures[future] = (shard_id, assembly)
+        ctx.stats.shard_subplans += len(futures)
+        with self._stats_lock:
+            self.queries += 1
+            self.subplans += len(futures)
+            self.chunks_routed += len(chunk_plan.chunks)
+
+        pieces: list[Table | None] = [None] * len(chunk_plan.chunks)
+        broadcast = False
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(
+                    pending,
+                    timeout=self._POLL_SECONDS,
+                    return_when=FIRST_COMPLETED,
+                )
+                if (
+                    not broadcast
+                    and cancel_path is not None
+                    and ctx.cancel is not None
+                    and ctx.cancel.cancelled
+                ):
+                    broadcast = self._broadcast_cancel(cancel_path)
+                for future in done:
+                    shard_id, assembly = futures[future]
+                    try:
+                        result = future.result()
+                    except BaseException as exc:
+                        failures.append((shard_id, exc))
+                        # Stop the healthy shards: their work is doomed.
+                        if cancel_path is not None and not broadcast:
+                            broadcast = self._broadcast_cancel(cancel_path)
+                        continue
+                    self._ingest(result, assembly, ctx, pieces)
+        finally:
+            if cancel_path is not None:
+                try:
+                    os.unlink(cancel_path)
+                except OSError:
+                    pass
+        if failures:
+            self._raise_failures(failures, ctx)
+        ctx.check_cancelled()
+        merged = [piece for piece in pieces if piece is not None]
+        if not merged:
+            return Table.empty(plan.schema)
+        return Table.concat_all(merged)
+
+    def warm_chunk(self, uri: str, table_name: str) -> None:
+        """Prefetch one chunk into its owning shard's recycler."""
+        self.layout.refresh(self.database)
+        shard_id = self.layout.shard_of(uri)
+        receipt = self._pool(shard_id).submit(
+            shard_worker.warm_chunk, uri, table_name
+        ).result()
+        self._adopt_receipt(receipt)
+
+    # -- gathering ---------------------------------------------------------
+
+    def _ingest(
+        self,
+        result: shard_worker.ShardResult,
+        assembly: tuple[int, ...],
+        ctx: "ExecutionContext",
+        pieces: list,
+    ) -> None:
+        for receipt in result.receipts:
+            _, outcome, num_rows, cost, _ = receipt
+            if outcome == "loaded":
+                ctx.stats.chunks_loaded += 1
+                ctx.stats.chunk_rows_loaded += num_rows
+                ctx.stats.chunk_load_seconds += cost
+                self.database.account_chunk_seconds(cost)
+            elif outcome == "rehydrated":
+                ctx.stats.chunks_rehydrated += 1
+            else:  # "hit" / "coalesced" in the shard's own recycler
+                ctx.stats.chunks_from_cache += 1
+            self._adopt_receipt(receipt)
+        ctx.stats.chunks_from_shards += len(result.pieces)
+        with self._stats_lock:
+            self._worker_kernels[result.shard_id] = result.kernel
+        for local_index, global_index in enumerate(assembly):
+            pieces[global_index] = result.pieces[local_index]
+
+    def _adopt_receipt(
+        self, receipt: tuple[str, str, int, float, dict | None]
+    ) -> None:
+        """Fold a worker-computed stats receipt into the parent catalog.
+
+        Shard workers are the only place the full chunk exists, so exact
+        column ranges travel back with the receipt and value-predicate
+        pruning keeps working for subsequent (parent-planned) queries.
+        """
+        uri, outcome, num_rows, cost, ranges = receipt
+        if ranges:
+            self.database.chunk_stats.adopt_persisted(
+                uri,
+                ranges,
+                num_rows=num_rows,
+                loading_cost=cost if outcome == "loaded" else None,
+            )
+
+    def _raise_failures(
+        self, failures: list[tuple[int, BaseException]], ctx: "ExecutionContext"
+    ) -> None:
+        for shard_id, exc in failures:
+            if isinstance(exc, BrokenProcessPool):
+                # The pool is unusable; drop it so the next query respawns
+                # a fresh worker (its store-backed cache survives).
+                self._reset_pool(shard_id)
+                with self._stats_lock:
+                    self.worker_crashes += 1
+        if ctx.cancel is not None and ctx.cancel.cancelled:
+            for _, exc in failures:
+                if isinstance(exc, QueryCancelled):
+                    raise exc
+        for shard_id, exc in failures:
+            if isinstance(exc, BrokenProcessPool):
+                raise ExecutionError(
+                    f"shard {shard_id} worker died mid-plan; its pool was "
+                    "reset and the next query will respawn it"
+                ) from exc
+        raise failures[0][1]
+
+    # -- cancellation ------------------------------------------------------
+
+    def _make_cancel_path(self) -> str:
+        os.makedirs(self._cancel_dir, exist_ok=True)
+        return os.path.join(self._cancel_dir, uuid.uuid4().hex)
+
+    def _broadcast_cancel(self, cancel_path: str) -> bool:
+        """Fan the parent's cancellation out to every shard worker."""
+        try:
+            with open(cancel_path, "w", encoding="utf-8"):
+                pass
+        except OSError:
+            return False
+        with self._stats_lock:
+            self.cancel_broadcasts += 1
+        return True
+
+    # -- introspection / lifecycle -----------------------------------------
+
+    def worker_kernels(self) -> dict[int, str]:
+        """Each spawned shard's active decode kernel (satellite of
+        ``planner_stats()['decode_kernel']``)."""
+        with self._stats_lock:
+            return dict(self._worker_kernels)
+
+    def stats_snapshot(self) -> dict[str, object]:
+        with self._stats_lock:
+            return {
+                "shards": self.shards,
+                "bucket_ms": self.layout.bucket_ms,
+                "epoch": self.layout_epoch,
+                "queries": self.queries,
+                "subplans": self.subplans,
+                "chunks_routed": self.chunks_routed,
+                "worker_crashes": self.worker_crashes,
+                "cancel_broadcasts": self.cancel_broadcasts,
+                "worker_kernels": {
+                    str(shard): kernel
+                    for shard, kernel in sorted(self._worker_kernels.items())
+                },
+            }
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.shutdown(wait=True, cancel_futures=True)

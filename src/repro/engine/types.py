@@ -54,6 +54,12 @@ class DataType:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
 
+    def __reduce__(self):
+        # The engine compares types by identity (``dtype is STRING``), so a
+        # pickle round-trip — e.g. a Table shipped back from a shard worker —
+        # must resolve to the module singletons, not a fresh instance.
+        return (type_by_name, (self.name,))
+
     def coerce_value(self, value: Any) -> Any:
         """Coerce a single Python value to this type.
 
