@@ -1,0 +1,42 @@
+"""Static-analysis framework enforcing the engine's unwritten contracts.
+
+Eight PRs in, correctness of the scatter-gather engine rests on
+conventions no type checker knows about: every :class:`ExecStats` counter
+must flow through ``merge()`` into ``counters_snapshot()``, types crossing
+the shard pickle boundary need ``__reduce__``, chunk loops must poll the
+:class:`~repro.engine.physical.CancelToken`, and chunk-store renames must
+be fsync-preceded.  This package makes those contracts machine-checked:
+
+* :mod:`~repro.analysis.findings` — the :class:`Finding` model
+  (checker id, severity, file:line, message);
+* :mod:`~repro.analysis.base` — :class:`Checker` base + registry and the
+  parsed :class:`SourceModule` handed to every checker;
+* :mod:`~repro.analysis.runner` — walks a source tree, runs every
+  registered checker (per-module and project-wide passes), applies
+  ``# repro: ignore[ID]`` suppressions and returns an
+  :class:`AnalysisReport`;
+* :mod:`~repro.analysis.checkers` — the repo-specific checkers themselves.
+
+Exposed as the ``repro analyze`` CLI subcommand and run in CI next to
+ruff; the custom layer checks what off-the-shelf linting cannot.
+"""
+
+from .base import Checker, SourceModule, all_checkers, checker_ids, register
+from .findings import SEVERITIES, Finding
+from .runner import AnalysisReport, analyze, iter_source_files
+
+# Importing the package registers every built-in checker.
+from . import checkers  # noqa: F401  (import-for-side-effect)
+
+__all__ = [
+    "AnalysisReport",
+    "Checker",
+    "Finding",
+    "SEVERITIES",
+    "SourceModule",
+    "all_checkers",
+    "analyze",
+    "checker_ids",
+    "iter_source_files",
+    "register",
+]

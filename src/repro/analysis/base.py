@@ -1,0 +1,161 @@
+"""Checker base class, registry, and the parsed module handed to checkers.
+
+A checker implements one invariant.  Per-module invariants override
+:meth:`Checker.check`; cross-module invariants (e.g. a singleton defined in
+one module and identity-compared in another) override
+:meth:`Checker.check_project`, which sees every parsed module at once.
+
+Suppression: a finding is dropped when the flagged line — or the line
+directly above it — carries ``# repro: ignore[id1,id2]`` naming the
+checker, or a blanket ``# repro: ignore``.  Suppressions are counted, not
+silently discarded, so ``repro analyze`` can report how many were applied.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .findings import Finding
+
+__all__ = [
+    "Checker",
+    "SourceModule",
+    "all_checkers",
+    "checker_ids",
+    "register",
+    "suppressed_ids",
+]
+
+SUPPRESS_PATTERN = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<ids>[A-Za-z0-9_,\- ]+)\])?"
+)
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file, shared by every checker that visits it."""
+
+    path: str  # as given to the runner (absolute or cwd-relative)
+    relpath: str  # relative to the analyzed root; used in findings
+    source: str
+    tree: ast.Module
+    # line number -> suppressed checker ids (None = every checker)
+    suppressions: dict[int, set[str] | None] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, relpath: str, source: str) -> "SourceModule":
+        """Parse a file; raises SyntaxError for the runner to report."""
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            suppressions=_collect_suppressions(source),
+        )
+
+    def segment(self, node: ast.AST) -> str:
+        """Source text of a node ('' when the segment cannot be located)."""
+        return ast.get_source_segment(self.source, node) or ""
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        for line in (finding.line, finding.line - 1):
+            ids = self.suppressions.get(line, ())
+            if ids is None or finding.checker in ids:
+                return True
+        return False
+
+
+def _collect_suppressions(source: str) -> dict[int, set[str] | None]:
+    suppressions: dict[int, set[str] | None] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = SUPPRESS_PATTERN.search(text)
+        if match is None:
+            continue
+        ids = match.group("ids")
+        if ids is None:
+            suppressions[number] = None  # blanket: every checker
+        else:
+            suppressions[number] = {
+                part.strip() for part in ids.split(",") if part.strip()
+            }
+    return suppressions
+
+
+class Checker:
+    """One machine-checked invariant.
+
+    Subclasses set ``id`` (the registry key and suppression token),
+    ``description`` (shown by ``repro analyze --list-checkers``) and
+    ``severity``, then override :meth:`check` and/or :meth:`check_project`.
+    """
+
+    id: str = ""
+    description: str = ""
+    severity: str = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Per-module pass; yield findings for this file."""
+        return iter(())
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterator[Finding]:
+        """Project-wide pass over every parsed module; yield findings."""
+        return iter(())
+
+    def finding(
+        self, module: SourceModule, node: ast.AST | int, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` (or a raw line number)."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            checker=self.id,
+            severity=self.severity,
+            path=module.relpath,
+            line=line,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.id:
+        raise ValueError(f"checker {cls.__name__} has no id")
+    if cls.id in _REGISTRY and _REGISTRY[cls.id] is not cls:
+        raise ValueError(f"duplicate checker id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def checker_ids() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def all_checkers(only: Iterable[str] | None = None) -> list[Checker]:
+    """Instantiate registered checkers, optionally a named subset."""
+    if only is None:
+        selected = checker_ids()
+    else:
+        selected = sorted(set(only))
+        unknown = [name for name in selected if name not in _REGISTRY]
+        if unknown:
+            raise KeyError(
+                f"unknown checker(s) {unknown}; known: {checker_ids()}"
+            )
+    return [_REGISTRY[name]() for name in selected]
+
+
+def suppressed_ids(module: SourceModule) -> set[str]:
+    """Every checker id named in the module's suppression comments."""
+    names: set[str] = set()
+    for ids in module.suppressions.values():
+        if ids:
+            names.update(ids)
+    return names

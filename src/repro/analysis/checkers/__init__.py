@@ -1,0 +1,19 @@
+"""The repo-specific checkers; importing this package registers them all."""
+
+from .async_blocking import AsyncBlockingChecker
+from .cancellation import CancellationChecker
+from .counter_plumbing import CounterPlumbingChecker
+from .durability import DurabilityChecker
+from .lock_discipline import LockDisciplineChecker
+from .pickle_boundary import PickleBoundaryChecker
+from .swallow import SwallowChecker
+
+__all__ = [
+    "AsyncBlockingChecker",
+    "CancellationChecker",
+    "CounterPlumbingChecker",
+    "DurabilityChecker",
+    "LockDisciplineChecker",
+    "PickleBoundaryChecker",
+    "SwallowChecker",
+]

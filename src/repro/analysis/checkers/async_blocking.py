@@ -1,0 +1,106 @@
+"""async-blocking: no blocking calls on the serving event loop.
+
+The serving front end (PR 6) keeps exactly ``pool_size`` queries executing
+on a thread pool; everything on the event loop must stay non-blocking or
+admission control, timeouts and drain all stall together.  This checker
+flags the classic foot-guns inside ``async def`` bodies:
+
+* ``time.sleep`` (use ``asyncio.sleep``);
+* the ``open()`` builtin and ``socket`` module calls (use executors or
+  asyncio streams);
+* ``subprocess``/``os.system``-style process calls;
+* ``.acquire()``/``.wait()`` that is not awaited — a bare
+  ``lock.acquire()`` is either a blocking ``threading`` primitive or a
+  forgotten ``await`` on an asyncio one; both are bugs.
+
+Sync helper functions *defined inside* a coroutine are skipped: they are
+the usual payload handed to ``run_in_executor``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import call_name, dotted_name, walk_skipping_nested_functions
+from ..base import Checker, SourceModule, register
+from ..findings import Finding
+
+__all__ = ["AsyncBlockingChecker"]
+
+BLOCKING_DOTTED = {
+    "time.sleep": "time.sleep() blocks the event loop; use asyncio.sleep()",
+    "os.system": "os.system() blocks the event loop; use an executor",
+    "os.popen": "os.popen() blocks the event loop; use an executor",
+    "os.wait": "os.wait() blocks the event loop; use an executor",
+    "os.waitpid": "os.waitpid() blocks the event loop; use an executor",
+}
+BLOCKING_MODULES = {
+    "socket": "blocking socket I/O inside a coroutine; use asyncio streams",
+    "subprocess": (
+        "subprocess calls block the event loop; use "
+        "asyncio.create_subprocess_exec or an executor"
+    ),
+    "requests": (
+        "requests performs blocking I/O; run it in an executor"
+    ),
+}
+# Methods that block when not awaited (threading primitives) and return an
+# un-awaited coroutine when they are asyncio ones — wrong either way.
+MUST_AWAIT = {"acquire"}
+
+
+@register
+class AsyncBlockingChecker(Checker):
+    id = "async-blocking"
+    description = (
+        "no time.sleep, blocking file/socket/process I/O, or bare "
+        "lock.acquire() inside async def bodies"
+    )
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(module, node)
+
+    def _check_coroutine(
+        self, module: SourceModule, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        awaited: set[int] = {
+            id(node.value)
+            for node in walk_skipping_nested_functions(func)
+            if isinstance(node, ast.Await)
+        }
+        for node in walk_skipping_nested_functions(func):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            message = BLOCKING_DOTTED.get(dotted)
+            if message is None:
+                root = dotted.split(".", 1)[0]
+                if "." in dotted and root in BLOCKING_MODULES:
+                    message = BLOCKING_MODULES[root]
+            if message is None and isinstance(node.func, ast.Name):
+                if node.func.id == "open":
+                    message = (
+                        "open() performs blocking file I/O inside "
+                        f"coroutine {func.name!r}; use an executor"
+                    )
+                elif node.func.id == "input":
+                    message = "input() blocks the event loop"
+            if (
+                message is None
+                and call_name(node) in MUST_AWAIT
+                and isinstance(node.func, ast.Attribute)
+                and id(node) not in awaited
+            ):
+                message = (
+                    f"bare .{call_name(node)}() inside coroutine "
+                    f"{func.name!r}: blocking if a threading primitive, "
+                    "an un-awaited coroutine if an asyncio one"
+                )
+            if message is not None:
+                yield self.finding(
+                    module, node, f"in async def {func.name}: {message}"
+                )

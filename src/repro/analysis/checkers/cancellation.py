@@ -1,0 +1,78 @@
+"""cancellation: chunk-fetch loops poll the cancel token every iteration.
+
+The serving front end's request timeouts (PR 6) and the coordinator's
+cancel sentinel (PR 8) both rely on one engine convention: any loop that
+fetches or decodes chunks in scheduled order checks for cancellation at
+every chunk boundary.  A loop that forgets the poll turns a 30s timeout
+into "however long the remaining chunks take" while holding a session
+pool slot — the exact failure admission control exists to prevent.
+
+Heuristic, tuned to the engine's vocabulary: a ``for`` loop qualifies
+when its iterable mentions a fetch schedule (``schedule``,
+``fetch_order``, ``as_completed``) *and* its body performs chunk
+materialization (``get_or_load``, ``load_chunk``, ``_fetch_one``,
+``decode``/``produce`` helpers, or draining ``future.result()``).  Such a
+loop must call one of the cancellation polls (``check_cancelled``,
+``raise_if_cancelled``, ``_check_cancelled``) somewhere in its body.
+Claim/bookkeeping sweeps over the same schedules fetch nothing and are
+deliberately not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..astutil import call_name, calls_in
+from ..base import Checker, SourceModule, register
+from ..findings import Finding
+
+__all__ = ["CancellationChecker"]
+
+SCHEDULE_PATTERN = re.compile(r"schedule|fetch_order|as_completed")
+FETCH_CALLS = {
+    "get_or_load",
+    "load_chunk",
+    "load_chunk_range",
+    "_fetch_one",
+    "decode",
+    "decode_chunk_to_store",
+    "produce",
+    "result",
+}
+POLL_CALLS = {"check_cancelled", "raise_if_cancelled", "_check_cancelled"}
+
+
+@register
+class CancellationChecker(Checker):
+    id = "cancellation"
+    description = (
+        "chunk-iteration loops over fetch schedules poll the cancel "
+        "token at every chunk boundary"
+    )
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.For):
+                continue
+            iterable = module.segment(node.iter)
+            if not SCHEDULE_PATTERN.search(iterable):
+                continue
+            body_calls = {
+                call_name(call)
+                for stmt in node.body
+                for call in calls_in(stmt)
+            }
+            if not body_calls & FETCH_CALLS:
+                continue  # claim/bookkeeping sweep: nothing to cancel
+            if body_calls & POLL_CALLS:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"chunk loop over {iterable!r} fetches without polling "
+                "the cancel token; a timed-out or cancelled query would "
+                "keep fetching every remaining chunk",
+            )

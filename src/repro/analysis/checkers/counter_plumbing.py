@@ -1,0 +1,154 @@
+"""counter-plumbing: every stats field flows to the monitoring surfaces.
+
+The monitoring contract since PR 6: ``repro cache --json`` and the serving
+``/stats`` endpoint both render :meth:`SommelierDB.counters_snapshot`, and
+the facade counters are accumulated via ``SommelierStats.merge``.  A field
+added to :class:`ExecStats` or :class:`SommelierStats` but forgotten in
+``reset()``/``merge()`` (or left out of the ``facade`` block) silently
+reports zero — or worse, leaks a stale value across queries — and the two
+surfaces drift.  This checker makes the plumbing mandatory:
+
+* every ``ExecStats`` field must be reassigned in ``reset()`` and
+  accumulated in ``merge()``;
+* every ``SommelierStats`` field must be accumulated in ``merge()`` and
+  appear as a key of the ``snapshot["facade"]`` dict built by
+  ``counters_snapshot()`` in the same module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import is_self_attribute
+from ..base import Checker, SourceModule, register
+from ..findings import Finding
+
+__all__ = ["CounterPlumbingChecker"]
+
+EXEC_STATS = "ExecStats"
+FACADE_STATS = "SommelierStats"
+
+
+def _declared_fields(cls: ast.ClassDef) -> list[tuple[str, int]]:
+    """Dataclass-style annotated fields declared at class top level."""
+    fields = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            fields.append((stmt.target.id, stmt.lineno))
+    return fields
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _self_attributes(func: ast.FunctionDef) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(func):
+        attr = is_self_attribute(node)
+        if attr is not None:
+            names.add(attr)
+    return names
+
+
+def _facade_keys(module: SourceModule) -> set[str] | None:
+    """Keys of the ``<anything>["facade"] = {...}`` dict literal, if any."""
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.slice, ast.Constant)
+            and target.slice.value == "facade"
+            and isinstance(node.value, ast.Dict)
+        ):
+            continue
+        return {
+            key.value
+            for key in node.value.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+    return None
+
+
+@register
+class CounterPlumbingChecker(Checker):
+    id = "counter-plumbing"
+    description = (
+        "every ExecStats/SommelierStats field is reset, merged and "
+        "reachable from counters_snapshot()'s facade block"
+    )
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name == EXEC_STATS:
+                yield from self._check_stats_class(
+                    module, node, methods=("reset", "merge")
+                )
+            elif node.name == FACADE_STATS:
+                yield from self._check_stats_class(
+                    module, node, methods=("merge",)
+                )
+                yield from self._check_facade(module, node)
+
+    def _check_stats_class(
+        self,
+        module: SourceModule,
+        cls: ast.ClassDef,
+        methods: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        fields = _declared_fields(cls)
+        for method_name in methods:
+            method = _method(cls, method_name)
+            if method is None:
+                yield self.finding(
+                    module,
+                    cls,
+                    f"{cls.name} declares counters but has no "
+                    f"{method_name}() to plumb them",
+                )
+                continue
+            touched = _self_attributes(method)
+            for name, line in fields:
+                if name not in touched:
+                    yield self.finding(
+                        module,
+                        line,
+                        f"{cls.name}.{name} is never touched by "
+                        f"{cls.name}.{method_name}(); the counter would "
+                        "silently drop (or leak) on aggregation",
+                    )
+
+    def _check_facade(
+        self, module: SourceModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        keys = _facade_keys(module)
+        if keys is None:
+            yield self.finding(
+                module,
+                cls,
+                f"{cls.name} is declared but no counters_snapshot() "
+                "facade block ('snapshot[\"facade\"] = {...}') exists in "
+                "this module; the counters are unreachable from "
+                "monitoring surfaces",
+            )
+            return
+        for name, line in _declared_fields(cls):
+            if name not in keys:
+                yield self.finding(
+                    module,
+                    line,
+                    f"{cls.name}.{name} is missing from the "
+                    "counters_snapshot() facade block; 'repro cache "
+                    "--json' and serving /stats would not report it",
+                )

@@ -1,0 +1,107 @@
+"""durability: write-then-rename commits fsync payloads and directory.
+
+PR 5's power-loss hardening established the commit discipline for every
+atomic-rename publish in the tree: payload files are fsynced as written,
+the staging directory is fsynced, and only then does the rename make the
+entry visible (with the parent directory synced after).  A rename without
+the preceding fsyncs can "commit" an entry whose payload bytes are still
+in the page cache — after a power loss the manifest exists but points at
+zero-length or torn files, the exact corruption the chunk store's
+quarantine path exists to survive.
+
+The rule: any function that both *writes files* (``open`` with a writing
+mode, ``np.save``, ``json.dump``) and *publishes by rename*
+(``os.rename``/``os.replace`` or the repo's ``_replace_dir`` helper) must
+call a file-level fsync (``os.fsync``/``_fsync_file``) before the first
+rename, plus a directory-level fsync (``_fsync_dir``) somewhere in the
+commit sequence — before the rename when publishing a staged directory,
+after it when making a same-directory file rename durable.  Functions
+that only shuffle already-committed directories (sweeps, quarantines,
+the replace helper itself) write nothing and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import call_name, calls_in, dotted_name, functions_in
+from ..base import Checker, SourceModule, register
+from ..findings import Finding
+
+__all__ = ["DurabilityChecker"]
+
+RENAME_DOTTED = {"os.rename", "os.replace"}
+RENAME_HELPERS = {"_replace_dir", "replace_dir", "atomic_replace"}
+FILE_SYNC = {"fsync", "_fsync_file", "fsync_file"}
+DIR_SYNC = {"_fsync_dir", "fsync_dir"}
+WRITE_CALLS = {"save", "dump", "savez", "store_table"}
+WRITING_MODES = ("w", "a", "x", "+")
+
+
+def _is_writing_open(call: ast.Call) -> bool:
+    if not (isinstance(call.func, ast.Name) and call.func.id == "open"):
+        return False
+    mode = None
+    if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+        mode = call.args[1].value
+    for keyword in call.keywords:
+        if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+            mode = keyword.value.value
+    return isinstance(mode, str) and any(
+        flag in mode for flag in WRITING_MODES
+    )
+
+
+@register
+class DurabilityChecker(Checker):
+    id = "durability"
+    description = (
+        "functions that write files and publish them by rename fsync "
+        "the payloads before the rename and the directory as part of "
+        "the commit"
+    )
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for func in functions_in(module.tree):
+            yield from self._check_function(module, func)
+
+    def _check_function(
+        self, module: SourceModule, func: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        renames: list[ast.Call] = []
+        writes = False
+        file_synced_lines: list[int] = []
+        dir_synced_lines: list[int] = []
+        for call in calls_in(func):
+            dotted = dotted_name(call.func)
+            name = call_name(call)
+            if dotted in RENAME_DOTTED or name in RENAME_HELPERS:
+                renames.append(call)
+            elif _is_writing_open(call) or name in WRITE_CALLS:
+                writes = True
+            elif name in FILE_SYNC:
+                file_synced_lines.append(call.lineno)
+            elif name in DIR_SYNC:
+                dir_synced_lines.append(call.lineno)
+        if not renames or not writes:
+            return
+        first_rename = min(call.lineno for call in renames)
+        if not any(line < first_rename for line in file_synced_lines):
+            yield self.finding(
+                module,
+                min(renames, key=lambda call: call.lineno),
+                f"{func.name}() writes files and publishes them by "
+                "rename without fsyncing the payload files first; a "
+                "power loss can commit an entry with torn or zero-length "
+                "contents",
+            )
+        if not dir_synced_lines:
+            yield self.finding(
+                module,
+                min(renames, key=lambda call: call.lineno),
+                f"{func.name}() publishes written files by rename "
+                "without any directory-level fsync; the rename itself "
+                "may not be durable when the call returns",
+            )

@@ -1,0 +1,188 @@
+"""lock-discipline: registered lock-guarded attributes are written under
+their lock.
+
+The engine's exact-accounting guarantees (recycler byte budgets, facade
+counters) hold only while every write to the shared fields happens inside
+``with self.<lock>:``.  The convention is now machine-readable: a class
+declares
+
+.. code-block:: python
+
+    _GUARDED = {"_lock": ("_bytes_cached", "_bytes_mapped")}
+
+and this checker flags any assignment (plain or augmented) to a
+registered attribute outside a ``with`` block taking that lock.
+``__init__``/``__post_init__``/``__new__`` are exempt (no concurrent
+reader can exist during construction).  Helper methods documented as
+"caller holds the lock" carry a ``# repro: ignore[lock-discipline]``
+suppression — visible, greppable, and reviewed.
+
+Independently of any registry, attributes following the ``_locked_``
+naming convention (``self._locked_total = ...``) must be written inside a
+``with`` block over *some* ``self.*lock*`` attribute.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import is_self_attribute
+from ..base import Checker, SourceModule, register
+from ..findings import Finding
+
+__all__ = ["LockDisciplineChecker"]
+
+CONSTRUCTORS = {"__init__", "__new__", "__post_init__"}
+LOCKED_PREFIX = "_locked_"
+
+
+def _guarded_registry(cls: ast.ClassDef) -> dict[str, str]:
+    """Parse ``_GUARDED = {lock: (attrs...)}`` into attr -> lock name."""
+    guarded: dict[str, str] = {}
+    for stmt in cls.body:
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "_GUARDED"
+            and isinstance(stmt.value, ast.Dict)
+        ):
+            continue
+        for key, value in zip(stmt.value.keys, stmt.value.values):
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                continue
+            if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                elements = value.elts
+            else:
+                elements = [value]
+            for element in elements:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    guarded[element.value] = key.value
+    return guarded
+
+
+def _held_locks(item: ast.withitem) -> str | None:
+    """The self attribute a ``with self.<attr>:`` item acquires."""
+    return is_self_attribute(item.context_expr)
+
+
+def _assigned_self_attrs(stmt: ast.stmt) -> list[tuple[str, int]]:
+    """Direct ``self.<attr> =``/``+=`` targets of one statement."""
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    found: list[tuple[str, int]] = []
+    for target in targets:
+        for node in ast.walk(target):
+            attr = is_self_attribute(node)
+            if attr is not None:
+                found.append((attr, stmt.lineno))
+    return found
+
+
+@register
+class LockDisciplineChecker(Checker):
+    id = "lock-discipline"
+    description = (
+        "attributes registered in _GUARDED (or named _locked_*) are only "
+        "written inside `with <lock>:` blocks"
+    )
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: SourceModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guarded = _guarded_registry(cls)
+        for stmt in cls.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name not in CONSTRUCTORS
+            ):
+                yield from self._walk(module, cls, guarded, stmt.body, set())
+
+    def _walk(
+        self,
+        module: SourceModule,
+        cls: ast.ClassDef,
+        guarded: dict[str, str],
+        body: list[ast.stmt],
+        held: set[str],
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, ast.With) or isinstance(stmt, ast.AsyncWith):
+                acquired = {
+                    lock
+                    for item in stmt.items
+                    if (lock := _held_locks(item)) is not None
+                }
+                yield from self._walk(
+                    module, cls, guarded, stmt.body, held | acquired
+                )
+                continue
+            for attr, line in _assigned_self_attrs(stmt):
+                yield from self._check_write(
+                    module, cls, guarded, attr, line, held
+                )
+            for child_body in _nested_bodies(stmt):
+                yield from self._walk(
+                    module, cls, guarded, child_body, held
+                )
+
+    def _check_write(
+        self,
+        module: SourceModule,
+        cls: ast.ClassDef,
+        guarded: dict[str, str],
+        attr: str,
+        line: int,
+        held: set[str],
+    ) -> Iterator[Finding]:
+        lock = guarded.get(attr)
+        if lock is not None and lock not in held:
+            yield self.finding(
+                module,
+                line,
+                f"{cls.name}.{attr} is registered as guarded by "
+                f"self.{lock} but is written outside a "
+                f"`with self.{lock}:` block",
+            )
+        elif (
+            lock is None
+            and attr.startswith(LOCKED_PREFIX)
+            and not any("lock" in name for name in held)
+        ):
+            yield self.finding(
+                module,
+                line,
+                f"{cls.name}.{attr} follows the {LOCKED_PREFIX}* "
+                "convention but is written outside any `with "
+                "self.<lock>:` block",
+            )
+
+
+def _nested_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    """Statement bodies nested under ``stmt`` (excluding With, handled
+    by the caller so lock scopes stay accurate)."""
+    bodies: list[list[ast.stmt]] = []
+    for field_name in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, field_name, None)
+        if isinstance(value, list) and value and isinstance(
+            value[0], ast.stmt
+        ):
+            bodies.append(value)
+    if isinstance(stmt, ast.Try):
+        for handler in stmt.handlers:
+            bodies.append(handler.body)
+    return bodies

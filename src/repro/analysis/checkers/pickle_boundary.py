@@ -1,0 +1,125 @@
+"""pickle-boundary: identity-compared singletons must survive pickling.
+
+PR 8's ``DataType`` bug, generalized: the engine compares certain
+module-level singletons by identity (``fld.dtype is STRING``), and shard
+tasks/results carry objects referencing them across a spawn-pool pickle
+boundary.  Default pickling materializes a *fresh* instance in the child
+(and again in the parent on the way back), so every identity comparison
+silently fails — exactly how sharded scans lost their type dispatch until
+``DataType.__reduce__`` was added by hand.
+
+The rule, checked project-wide: a class defined in the analyzed tree whose
+instances are bound to module-level singleton names that are identity-
+compared (``is`` / ``is not``) anywhere in the tree must define
+``__reduce__`` or ``__reduce_ex__`` resolving back to the singleton.
+``enum.Enum`` subclasses already pickle to identity and are allowlisted,
+as is anything named in ``SAFE_CLASSES``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from ..base import Checker, SourceModule, register
+from ..findings import Finding
+
+__all__ = ["PickleBoundaryChecker"]
+
+REDUCE_METHODS = {"__reduce__", "__reduce_ex__"}
+ENUM_BASES = {"Enum", "IntEnum", "StrEnum", "IntFlag", "Flag"}
+
+
+def _base_names(cls: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _defines_reduce(cls: ast.ClassDef) -> bool:
+    return any(
+        isinstance(stmt, ast.FunctionDef) and stmt.name in REDUCE_METHODS
+        for stmt in cls.body
+    )
+
+
+@register
+class PickleBoundaryChecker(Checker):
+    id = "pickle-boundary"
+    description = (
+        "identity-compared module-level singletons define __reduce__ so "
+        "they survive the shard-worker pickle boundary"
+    )
+    severity = "error"
+
+    # Known-safe class names (pickle already preserves their identity).
+    SAFE_CLASSES: frozenset[str] = frozenset()
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterator[Finding]:
+        # singleton name -> (module, class name, class node, safe)
+        singletons: dict[str, tuple[SourceModule, str, ast.ClassDef, bool]] = {}
+        for module in modules:
+            classes: dict[str, ast.ClassDef] = {
+                node.name: node
+                for node in module.tree.body
+                if isinstance(node, ast.ClassDef)
+            }
+            for node in module.tree.body:
+                if not (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Name)
+                ):
+                    continue
+                cls = classes.get(node.value.func.id)
+                if cls is None:
+                    continue
+                safe = (
+                    _defines_reduce(cls)
+                    or bool(_base_names(cls) & ENUM_BASES)
+                    or cls.name in self.SAFE_CLASSES
+                )
+                singletons[node.targets[0].id] = (
+                    module, cls.name, cls, safe
+                )
+        if not singletons:
+            return
+
+        compared: dict[str, SourceModule] = {}
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Compare):
+                    continue
+                if not any(
+                    isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+                ):
+                    continue
+                for operand in (node.left, *node.comparators):
+                    if (
+                        isinstance(operand, ast.Name)
+                        and operand.id in singletons
+                    ):
+                        compared.setdefault(operand.id, module)
+
+        reported: set[str] = set()
+        for name, user in sorted(compared.items()):
+            module, class_name, cls, safe = singletons[name]
+            if safe or class_name in reported:
+                continue
+            reported.add(class_name)
+            yield self.finding(
+                module,
+                cls,
+                f"{class_name} instances (e.g. singleton {name!r}, "
+                f"identity-compared in {user.relpath}) cross pickle "
+                "boundaries as fresh objects; define __reduce__ to "
+                "resolve back to the module singleton",
+            )

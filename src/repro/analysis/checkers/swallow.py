@@ -1,0 +1,81 @@
+"""swallow: no bare ``except:`` and no silent broad-except handlers.
+
+A bare ``except:`` catches ``KeyboardInterrupt``/``SystemExit`` and is
+always flagged.  ``except Exception:`` (or ``BaseException``) is flagged
+only when the handler *does nothing* — its body is just ``pass``,
+``return``, ``continue`` or ``...`` — because a silent swallow hides
+engine bugs behind "best effort".  Handlers that account the failure
+(counter bump, log, re-raise, fallback computation) are fine; genuinely
+intentional probes carry a ``# repro: ignore[swallow]`` with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Checker, SourceModule, register
+from ..findings import Finding
+
+__all__ = ["SwallowChecker"]
+
+BROAD = {"Exception", "BaseException"}
+
+
+def _names(expression: ast.expr | None) -> set[str]:
+    if expression is None:
+        return set()
+    if isinstance(expression, ast.Tuple):
+        found: set[str] = set()
+        for element in expression.elts:
+            found |= _names(element)
+        return found
+    if isinstance(expression, ast.Name):
+        return {expression.id}
+    if isinstance(expression, ast.Attribute):
+        return {expression.attr}
+    return set()
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Return)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue  # docstring / ellipsis placeholder
+        return False
+    return True
+
+
+@register
+class SwallowChecker(Checker):
+    id = "swallow"
+    description = (
+        "no bare `except:`; broad `except Exception:` handlers must do "
+        "something with the failure"
+    )
+    severity = "warning"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare `except:` catches KeyboardInterrupt and "
+                    "SystemExit; name the exceptions (or at least "
+                    "`except Exception:` with handling)",
+                )
+                continue
+            if _names(node.type) & BROAD and _is_silent(node.body):
+                yield self.finding(
+                    module,
+                    node,
+                    "broad except silently swallows the failure; narrow "
+                    "the exception types, account the failure, or "
+                    "suppress with a reason",
+                )

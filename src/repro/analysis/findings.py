@@ -1,0 +1,52 @@
+"""The finding model shared by every checker and the CLI/CI surfaces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SEVERITIES", "Finding"]
+
+# Ordered weakest-first so ``max()`` over a report picks the worst.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation, anchored to a source location.
+
+    ``path`` is relative to the analyzed root so reports are stable across
+    checkouts; ``line`` is 1-based.  ``checker`` is the registry id used in
+    ``# repro: ignore[<checker>]`` suppression comments.
+    """
+
+    checker: str
+    severity: str
+    path: str
+    line: int
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity {self.severity!r} not one of {SEVERITIES}"
+            )
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.checker, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the ``--json`` findings schema)."""
+        return {
+            "checker": self.checker,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line human rendering: ``path:line: severity[id] message``."""
+        return (
+            f"{self.path}:{self.line}: "
+            f"{self.severity}[{self.checker}] {self.message}"
+        )

@@ -13,6 +13,8 @@ Usage::
         [--port 8080] [--pool-size 4] [--max-queue 8] [--rate-limit 10]
     python -m repro bench --experiment fig6 [--profile quick]
     python -m repro inspect --base /tmp/data --sf 3 --scale test
+    python -m repro analyze [--root src/repro] [--json] [--output out.json] \
+        [--checker durability --checker swallow] [--list-checkers]
 
 The CLI wraps the same public API the examples use; it exists so a
 downstream user can poke at a repository without writing Python.
@@ -242,6 +244,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--base", default=None, help="dataset cache directory"
     )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the repo's AST invariant checkers (counter plumbing, "
+        "pickle boundaries, async blocking, cancellation polls, "
+        "durability, lock discipline); nonzero exit on findings",
+    )
+    analyze.add_argument(
+        "--root", action="append", default=None,
+        help="directory tree to analyze (repeatable; defaults to the "
+        "installed repro package)",
+    )
+    analyze.add_argument(
+        "--checker", action="append", default=None,
+        help="run only this checker id (repeatable)",
+    )
+    analyze.add_argument("--json", action="store_true", help="emit JSON")
+    analyze.add_argument(
+        "--output", default=None,
+        help="also write the JSON report to this path (written even when "
+        "findings fail the run)",
+    )
+    analyze.add_argument(
+        "--list-checkers", action="store_true",
+        help="list available checker ids and exit",
+    )
     return parser
 
 
@@ -384,7 +412,7 @@ def _prepare_or_reopen(args: argparse.Namespace, options):
 
 def _command_cache(args: argparse.Namespace) -> int:
     """Run optional queries, then report per-tier recycler statistics."""
-    import json
+    from .jsonio import render_json
 
     db = _prepare_or_reopen(args, _two_stage_options(args))
     try:
@@ -393,7 +421,7 @@ def _command_cache(args: argparse.Namespace) -> int:
         # The same serialization the serving front end's /stats embeds.
         stats = db.counters_snapshot()
         if args.json:
-            print(json.dumps(stats, indent=2, sort_keys=True))
+            print(render_json(stats, kind="cache-counters"))
         else:
             for section, counters in stats.items():
                 parts = " ".join(f"{k}={v}" for k, v in counters.items())
@@ -480,6 +508,40 @@ def _command_bench(args: argparse.Namespace) -> int:
         ctx.close()
 
 
+def _command_analyze(args: argparse.Namespace) -> int:
+    """Run the static-analysis checkers; exit 1 on unsuppressed findings."""
+    import os
+
+    from .analysis import analyze, checker_ids
+    from .jsonio import render_json
+
+    if args.list_checkers:
+        from .analysis import all_checkers
+
+        for checker in all_checkers():
+            print(f"{checker.id:<18} [{checker.severity}] "
+                  f"{checker.description}")
+        return 0
+    try:
+        only = tuple(args.checker) if args.checker else None
+        roots = args.root or [os.path.dirname(os.path.abspath(__file__))]
+        report = analyze(roots, only=only)
+    except KeyError:
+        known = ", ".join(checker_ids())
+        print(f"unknown checker id; known checkers: {known}",
+              file=sys.stderr)
+        return 2
+    rendered = render_json(report.to_payload(), kind="analyze-report")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    if args.json:
+        print(rendered)
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -491,6 +553,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": _command_cache,
         "serve": _command_serve,
         "bench": _command_bench,
+        "analyze": _command_analyze,
     }
     return handlers[args.command](args)
 

@@ -189,8 +189,11 @@ class WorkloadPrefetcher:
         for future in pending:
             try:
                 future.result(timeout=timeout)
+            # failures were already counted by _warm_one's stats.failed
+            # accounting; this loop only drains the futures.
+            # repro: ignore[swallow]
             except Exception:
-                pass  # already accounted in _warm_one
+                pass
 
     def stats_snapshot(self) -> dict[str, int]:
         with self._lock:

@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass
 
 from ..engine import algebra
+from ..engine.chunk_store import _fsync_dir, _fsync_file
 from ..engine.database import Database
 from ..engine.errors import ExecutionError
 from ..engine.physical import ExecStats
@@ -122,6 +123,10 @@ class SommelierDB:
     :meth:`session` (or a :class:`~repro.core.session.SessionPool`), which
     wraps this facade with per-session counters.
     """
+
+    # Machine-checked (repro analyze, lock-discipline): session ids must be
+    # unique and the shard-epoch merge must happen exactly once per epoch.
+    _GUARDED = {"_stats_lock": ("_session_counter", "_shard_epoch_seen")}
 
     def __init__(
         self,
@@ -320,9 +325,16 @@ class SommelierDB:
         self.database.recycler.flush_to_store()
         path = os.path.join(self.database.workdir, CATALOG_POINTERS)
         staging = path + ".tmp"
+        # Same commit discipline as the chunk store: the pointers hit the
+        # platter before the rename makes them the catalog, and the rename
+        # itself is made durable by syncing the workdir.  Otherwise a
+        # power loss can leave a zero-length catalog.json that reopen
+        # treats as "no checkpoint" — silently discarding paged tables.
         with open(staging, "w", encoding="utf-8") as handle:
             json.dump(pointers, handle)
+            _fsync_file(handle)
         os.replace(staging, path)
+        _fsync_dir(self.database.workdir)
 
     def _restore_catalog_pointers(self) -> bool:
         """Load the checkpoint, if one exists and parses; returns success."""

@@ -442,7 +442,7 @@ def _execute_select(plan: algebra.Select, ctx: ExecutionContext) -> Table:
 def _execute_project(plan: algebra.Project, ctx: ExecutionContext) -> Table:
     child = execute_plan(plan.child, ctx)
     columns = []
-    for (name, expression), fld in zip(plan.outputs, plan.schema):
+    for (_name, expression), fld in zip(plan.outputs, plan.schema):
         values = expression.evaluate(child)
         if fld.dtype is STRING and not isinstance(values, np.ndarray):
             raise ExecutionError("projection produced a non-array value")

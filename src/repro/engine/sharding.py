@@ -36,7 +36,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING
 
 from . import shard_worker
-from .errors import ExecutionError, QueryCancelled, StorageError
+from .errors import CatalogError, ExecutionError, QueryCancelled, StorageError
 from .table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -96,7 +96,7 @@ class ShardLayout:
         try:
             files = database.catalog.table("F").data
             segments = database.catalog.table("S").data
-        except Exception:
+        except CatalogError:
             return  # no metadata tables: URI-hash placement still works
         if files.num_rows == self._indexed_files:
             return

@@ -201,12 +201,14 @@ class SharedScanScheduler:
         finally:
             with self._lock:
                 scan_pass.consumers -= 1
-                if scan_pass.consumers == 0:
-                    # Last consumer out ends the wave; the next arrival
-                    # starts a fresh pass (decode stays warm in the
-                    # recycler, only the scan-level memos are dropped).
-                    if self._passes.get(plan.table_name) is scan_pass:
-                        del self._passes[plan.table_name]
+                # Last consumer out ends the wave; the next arrival
+                # starts a fresh pass (decode stays warm in the
+                # recycler, only the scan-level memos are dropped).
+                if (
+                    scan_pass.consumers == 0
+                    and self._passes.get(plan.table_name) is scan_pass
+                ):
+                    del self._passes[plan.table_name]
 
     def _consume(
         self,

@@ -312,7 +312,10 @@ class Binder:
             return None
         try:
             return expression.output_type(probe)
-        except Exception:  # noqa: BLE001 - typing probe is best-effort
+        # typing probe is best-effort: None means "defer the type
+        # decision", and every failure mode maps to the same answer.
+        # repro: ignore[swallow]
+        except Exception:  # noqa: BLE001
             return None
 
     # -- aggregate placement checks -------------------------------------------------

@@ -1,0 +1,34 @@
+"""Shared JSON emission for CLI subcommands.
+
+Every ``--json`` surface in the CLI (``repro cache --json``,
+``repro analyze --json``) emits through this module so the shape stays
+uniform: two-space indent, sorted keys, and a sibling ``metadata`` block
+identifying the tool, the payload kind, and the format version.  The
+metadata is attached as a *sibling* key — existing top-level keys stay
+where consumers already look for them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+__all__ = ["FORMAT_VERSION", "attach_metadata", "render_json"]
+
+FORMAT_VERSION = 1
+
+
+def attach_metadata(payload: Dict[str, Any], kind: str) -> Dict[str, Any]:
+    """Return ``payload`` with a standard ``metadata`` block added."""
+    enriched = dict(payload)
+    enriched["metadata"] = {
+        "tool": "repro",
+        "kind": kind,
+        "format_version": FORMAT_VERSION,
+    }
+    return enriched
+
+
+def render_json(payload: Dict[str, Any], kind: str) -> str:
+    """Serialize ``payload`` (plus metadata) in the house style."""
+    return json.dumps(attach_metadata(payload, kind), indent=2, sort_keys=True)

@@ -62,7 +62,9 @@ class HttpRequest:
         try:
             return json.loads(self.body.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
-            raise HttpError(400, f"request body is not valid JSON: {exc}")
+            raise HttpError(
+                400, f"request body is not valid JSON: {exc}"
+            ) from exc
 
     @property
     def keep_alive(self) -> bool:
@@ -74,13 +76,13 @@ async def read_request(reader, max_body_bytes: int) -> HttpRequest | None:
     try:
         line = await reader.readline()
     except ValueError:  # StreamReader limit overrun
-        raise HttpError(400, "request line too long")
+        raise HttpError(400, "request line too long") from None
     if not line:
         return None
     try:
         method, target, version = line.decode("latin-1").strip().split(" ", 2)
     except ValueError:
-        raise HttpError(400, "malformed request line")
+        raise HttpError(400, "malformed request line") from None
     if not version.startswith("HTTP/1."):
         raise HttpError(400, f"unsupported protocol {version!r}")
 
@@ -91,7 +93,7 @@ async def read_request(reader, max_body_bytes: int) -> HttpRequest | None:
         try:
             raw = await reader.readline()
         except ValueError:
-            raise HttpError(400, "header line too long")
+            raise HttpError(400, "header line too long") from None
         if raw in (b"\r\n", b"\n", b""):
             break
         if len(raw) > MAX_HEADER_LINE:
@@ -107,7 +109,7 @@ async def read_request(reader, max_body_bytes: int) -> HttpRequest | None:
         try:
             length = int(length_text)
         except ValueError:
-            raise HttpError(400, "malformed Content-Length")
+            raise HttpError(400, "malformed Content-Length") from None
         if length < 0:
             raise HttpError(400, "malformed Content-Length")
         if length > max_body_bytes:

@@ -1,0 +1,20 @@
+"""Shared fixtures for the static-analysis test suite."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze
+
+
+@pytest.fixture
+def run_checker(tmp_path):
+    """Write ``source`` into a temp tree and run one checker over it."""
+
+    def run(checker_id, source, filename="module.py"):
+        path = tmp_path / filename
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        report = analyze([str(tmp_path)], only=(checker_id,))
+        return report.findings
+
+    return run

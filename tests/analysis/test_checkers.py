@@ -1,0 +1,432 @@
+"""Per-checker fixtures: one known-bad and one known-good snippet each."""
+
+
+class TestCounterPlumbing:
+    def test_field_missing_from_merge_fires(self, run_checker):
+        findings = run_checker(
+            "counter-plumbing",
+            """
+            class ExecStats:
+                rows_scanned: int = 0
+                chunks_loaded: int = 0
+
+                def reset(self):
+                    self.rows_scanned = 0
+                    self.chunks_loaded = 0
+
+                def merge(self, other):
+                    self.rows_scanned += other.rows_scanned
+            """,
+        )
+        assert len(findings) == 1
+        assert "chunks_loaded" in findings[0].message
+        assert "merge" in findings[0].message
+
+    def test_fully_plumbed_class_is_clean(self, run_checker):
+        findings = run_checker(
+            "counter-plumbing",
+            """
+            class ExecStats:
+                rows_scanned: int = 0
+
+                def reset(self):
+                    self.rows_scanned = 0
+
+                def merge(self, other):
+                    self.rows_scanned += other.rows_scanned
+            """,
+        )
+        assert findings == []
+
+    def test_facade_key_missing_fires(self, run_checker):
+        findings = run_checker(
+            "counter-plumbing",
+            """
+            class SommelierStats:
+                queries_executed: int = 0
+                derivations: int = 0
+
+                def merge(self, other):
+                    self.queries_executed += other.queries_executed
+                    self.derivations += other.derivations
+
+            def counters_snapshot(self):
+                snapshot = {}
+                snapshot["facade"] = {"queries_executed": 1}
+                return snapshot
+            """,
+        )
+        assert len(findings) == 1
+        assert "derivations" in findings[0].message
+        assert "facade" in findings[0].message
+
+    def test_missing_reset_method_fires(self, run_checker):
+        findings = run_checker(
+            "counter-plumbing",
+            """
+            class ExecStats:
+                rows_scanned: int = 0
+
+                def merge(self, other):
+                    self.rows_scanned += other.rows_scanned
+            """,
+        )
+        assert any("reset" in f.message for f in findings)
+
+
+class TestPickleBoundary:
+    BAD = """
+        class Marker:
+            def __init__(self, name):
+                self.name = name
+
+        UNIT = Marker("unit")
+
+        def is_unit(value):
+            return value is UNIT
+    """
+
+    def test_identity_compared_singleton_without_reduce_fires(
+        self, run_checker
+    ):
+        findings = run_checker("pickle-boundary", self.BAD)
+        assert len(findings) == 1
+        assert "__reduce__" in findings[0].message
+        assert "UNIT" in findings[0].message
+
+    def test_reduce_makes_singleton_safe(self, run_checker):
+        findings = run_checker(
+            "pickle-boundary",
+            """
+            class Marker:
+                def __init__(self, name):
+                    self.name = name
+
+                def __reduce__(self):
+                    return (by_name, (self.name,))
+
+            UNIT = Marker("unit")
+
+            def is_unit(value):
+                return value is UNIT
+            """,
+        )
+        assert findings == []
+
+    def test_uncompared_singleton_is_not_flagged(self, run_checker):
+        findings = run_checker(
+            "pickle-boundary",
+            """
+            class Marker:
+                pass
+
+            UNIT = Marker()
+            """,
+        )
+        assert findings == []
+
+    def test_enum_singletons_are_safe(self, run_checker):
+        findings = run_checker(
+            "pickle-boundary",
+            """
+            import enum
+
+            class Mode(enum.Enum):
+                LAZY = "lazy"
+
+            def check(value):
+                return value is Mode.LAZY
+            """,
+        )
+        assert findings == []
+
+
+class TestAsyncBlocking:
+    def test_time_sleep_in_coroutine_fires(self, run_checker):
+        findings = run_checker(
+            "async-blocking",
+            """
+            import time
+
+            async def handler(request):
+                time.sleep(0.1)
+            """,
+        )
+        assert len(findings) == 1
+        assert "asyncio.sleep" in findings[0].message
+
+    def test_awaited_asyncio_sleep_is_clean(self, run_checker):
+        findings = run_checker(
+            "async-blocking",
+            """
+            import asyncio
+
+            async def handler(request):
+                await asyncio.sleep(0.1)
+            """,
+        )
+        assert findings == []
+
+    def test_bare_acquire_fires_but_awaited_does_not(self, run_checker):
+        findings = run_checker(
+            "async-blocking",
+            """
+            async def bad(self):
+                self._lock.acquire()
+
+            async def good(self):
+                await self._semaphore.acquire()
+            """,
+        )
+        assert len(findings) == 1
+        assert "bad" in findings[0].message
+
+    def test_sync_helper_inside_coroutine_is_skipped(self, run_checker):
+        # The usual run_in_executor payload: blocking calls are its point.
+        findings = run_checker(
+            "async-blocking",
+            """
+            import time
+
+            async def handler(loop):
+                def blocking_probe():
+                    time.sleep(0.1)
+                    return open("/dev/null")
+
+                return await loop.run_in_executor(None, blocking_probe)
+            """,
+        )
+        assert findings == []
+
+    def test_sync_function_is_out_of_scope(self, run_checker):
+        findings = run_checker(
+            "async-blocking",
+            """
+            import time
+
+            def worker():
+                time.sleep(0.1)
+            """,
+        )
+        assert findings == []
+
+
+class TestCancellation:
+    def test_fetching_schedule_loop_without_poll_fires(self, run_checker):
+        findings = run_checker(
+            "cancellation",
+            """
+            def run(self, schedule, ctx):
+                for index in schedule:
+                    table = self.recycler.get_or_load(index)
+                    self.emit(table)
+            """,
+        )
+        assert len(findings) == 1
+        assert "cancel" in findings[0].message
+
+    def test_polled_loop_is_clean(self, run_checker):
+        findings = run_checker(
+            "cancellation",
+            """
+            def run(self, schedule, ctx):
+                for index in schedule:
+                    ctx.check_cancelled()
+                    table = self.recycler.get_or_load(index)
+            """,
+        )
+        assert findings == []
+
+    def test_claim_only_sweep_is_not_flagged(self, run_checker):
+        # Bookkeeping over the schedule fetches nothing: nothing to cancel.
+        findings = run_checker(
+            "cancellation",
+            """
+            def claim(self, schedule):
+                claimed = []
+                for index in schedule:
+                    claimed.append(index)
+                return claimed
+            """,
+        )
+        assert findings == []
+
+
+class TestDurability:
+    def test_write_then_rename_without_fsync_fires_twice(self, run_checker):
+        findings = run_checker(
+            "durability",
+            """
+            import json
+            import os
+
+            def checkpoint(path, payload):
+                staging = path + ".tmp"
+                with open(staging, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(staging, path)
+            """,
+        )
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "fsync" in messages
+        assert "directory" in messages
+
+    def test_fsynced_commit_is_clean(self, run_checker):
+        findings = run_checker(
+            "durability",
+            """
+            import json
+            import os
+
+            def checkpoint(path, payload):
+                staging = path + ".tmp"
+                with open(staging, "w") as handle:
+                    json.dump(payload, handle)
+                    _fsync_file(handle)
+                os.replace(staging, path)
+                _fsync_dir(os.path.dirname(path))
+            """,
+        )
+        assert findings == []
+
+    def test_rename_only_shuffle_is_exempt(self, run_checker):
+        # Sweeps/quarantines move already-committed directories around.
+        findings = run_checker(
+            "durability",
+            """
+            import os
+
+            def quarantine(entry, target):
+                os.rename(entry, target)
+            """,
+        )
+        assert findings == []
+
+
+class TestLockDiscipline:
+    def test_guarded_write_outside_lock_fires(self, run_checker):
+        findings = run_checker(
+            "lock-discipline",
+            """
+            import threading
+
+            class Budget:
+                _GUARDED = {"_lock": ("_bytes_cached",)}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._bytes_cached = 0
+
+                def add(self, n):
+                    self._bytes_cached += n
+            """,
+        )
+        assert len(findings) == 1
+        assert "_bytes_cached" in findings[0].message
+        assert "with self._lock" in findings[0].message
+
+    def test_guarded_write_under_lock_is_clean(self, run_checker):
+        findings = run_checker(
+            "lock-discipline",
+            """
+            import threading
+
+            class Budget:
+                _GUARDED = {"_lock": ("_bytes_cached",)}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._bytes_cached = 0
+
+                def add(self, n):
+                    with self._lock:
+                        self._bytes_cached += n
+            """,
+        )
+        assert findings == []
+
+    def test_constructor_writes_are_exempt(self, run_checker):
+        # No concurrent reader can exist while __init__ runs.
+        findings = run_checker(
+            "lock-discipline",
+            """
+            class Budget:
+                _GUARDED = {"_lock": ("_bytes_cached",)}
+
+                def __init__(self):
+                    self._bytes_cached = 0
+            """,
+        )
+        assert findings == []
+
+    def test_locked_prefix_convention(self, run_checker):
+        findings = run_checker(
+            "lock-discipline",
+            """
+            class Pool:
+                def bad(self):
+                    self._locked_total = 1
+
+                def good(self):
+                    with self._lock:
+                        self._locked_total = 1
+            """,
+        )
+        assert len(findings) == 1
+        assert "_locked_total" in findings[0].message
+
+
+class TestSwallow:
+    def test_bare_except_fires(self, run_checker):
+        findings = run_checker(
+            "swallow",
+            """
+            def probe():
+                try:
+                    risky()
+                except:
+                    return None
+            """,
+        )
+        assert len(findings) == 1
+        assert "bare" in findings[0].message
+
+    def test_silent_broad_except_fires(self, run_checker):
+        findings = run_checker(
+            "swallow",
+            """
+            def probe():
+                try:
+                    risky()
+                except Exception:
+                    pass
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_handled_broad_except_is_clean(self, run_checker):
+        findings = run_checker(
+            "swallow",
+            """
+            def probe(stats):
+                try:
+                    risky()
+                except Exception:
+                    stats.failed += 1
+            """,
+        )
+        assert findings == []
+
+    def test_narrow_silent_except_is_clean(self, run_checker):
+        findings = run_checker(
+            "swallow",
+            """
+            def probe():
+                try:
+                    risky()
+                except ValueError:
+                    pass
+            """,
+        )
+        assert findings == []

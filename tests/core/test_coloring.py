@@ -85,14 +85,15 @@ def black_subtree_is_linear(plan, reds):
             right = node.right
             while isinstance(right, algebra.Select):
                 right = right.child
-            if contains_black(node.left) or not isinstance(
-                right, (algebra.Scan,)
+            # right side holding black vertices must be a single leaf
+            if (
+                contains_black(node.left)
+                or not isinstance(right, algebra.Scan)
+            ) and (
+                contains_black(node.right)
+                and not isinstance(right, algebra.Scan)
             ):
-                # right side holding black vertices must be a single leaf
-                if contains_black(node.right) and not isinstance(
-                    right, algebra.Scan
-                ):
-                    return False
+                return False
             if not visit(node.left):
                 return False
             if not visit(node.right):

@@ -68,7 +68,7 @@ class TestLayout:
         split = layout.split(plan)
         schedule = plan.fetch_order or tuple(range(len(plan.chunks)))
         seen_assembly: list[int] = []
-        for shard_id, (assembly, fetch) in split.items():
+        for _shard_id, (assembly, fetch) in split.items():
             assert sorted(assembly) == list(assembly)  # plan order kept
             assert sorted(fetch) == sorted(assembly)  # same members
             pos = {i: n for n, i in enumerate(schedule)}

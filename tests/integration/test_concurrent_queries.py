@@ -59,7 +59,7 @@ class TestConcurrentEquivalence:
             ]
             observed = [f.result() for f in futures]
 
-        for i, sql in enumerate(queries):
+        for i, _sql in enumerate(queries):
             assert observed[i] == expected[i]
             assert observed[len(queries) + i] == expected[i]
 

@@ -68,7 +68,7 @@ class TestApproachEquivalence:
             for name, db in prepared_all.items()
         }
         reference = answers["eager_plain"]
-        for name, answer in answers.items():
+        for answer in answers.values():
             assert _rows_close(answer, reference)
 
     def test_paper_query2(self, prepared_all):
@@ -79,7 +79,7 @@ class TestApproachEquivalence:
             for name, db in prepared_all.items()
         }
         reference = answers["eager_plain"]
-        for name, answer in answers.items():
+        for answer in answers.values():
             assert answer == reference
 
 

@@ -23,7 +23,7 @@ MILLIS_PER_DAY = 24 * 3600 * 1000
 def small_repo(tmp_path):
     rng = np.random.default_rng(11)
     root = tmp_path / "repo"
-    for i, station in enumerate(("AAA", "BBB")):
+    for station in ("AAA", "BBB"):
         samples = np.cumsum(rng.integers(-20, 20, 500)).astype(np.int64)
         writer.write_volume(
             str(root / f"{station}.xseed"),
