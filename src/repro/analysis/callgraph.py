@@ -1,0 +1,666 @@
+"""Project-wide call graph over the parsed :class:`SourceModule`s.
+
+The interprocedural checkers (``lock-order``, ``blocking-under-lock``,
+``async-reach``) need to know, for a call expression in one module, which
+function body it lands in — possibly in another module.  This builder
+resolves the cases that matter for the engine's code style and is
+**deliberately conservative** everywhere else: a call it cannot resolve is
+recorded as unresolved (``None`` target) rather than guessed, so dynamic
+dispatch can produce false negatives but never false positives.
+
+Resolved call shapes:
+
+* ``helper(...)`` — module-level functions, including names imported via
+  ``from .mod import helper`` (absolute or relative).
+* ``self.method(...)`` — methods of the enclosing class, following base
+  classes resolvable within the project.
+* ``self.attr.method(...)`` and longer chains — attribute types are
+  inferred from ``self.attr = ClassName(...)`` assignments in ``__init__``
+  and from parameter annotations (including string annotations and
+  ``TYPE_CHECKING``-only imports).
+* ``var.method(...)`` — locals typed by ``var = ClassName(...)``, by
+  annotated parameters, or by the return annotation of a resolved call.
+* ``ClassName(...)`` — resolves to ``ClassName.__init__`` when defined.
+
+Anything else (tuple unpacking, ``getattr``, callbacks, subscripted
+receivers, name-only heuristics across unrelated classes) resolves to
+``None``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .astutil import dotted_name, walk_skipping_nested_functions
+from .base import SourceModule
+
+__all__ = [
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Scope",
+    "module_key",
+]
+
+# Constructors of lock objects; attributes assigned one of these in
+# ``__init__`` are treated as locks by the concurrency checkers.
+_LOCK_FACTORIES: Dict[str, bool] = {
+    # dotted call name -> reentrant
+    "threading.Lock": False,
+    "threading.RLock": True,
+    "make_lock": False,
+    "make_rlock": True,
+}
+
+
+def module_key(relpath: str) -> str:
+    """Dotted module name for a root-relative path.
+
+    ``engine/recycler.py`` -> ``engine.recycler``; package ``__init__``
+    files map to the package itself (``engine/__init__.py`` -> ``engine``,
+    the root ``__init__.py`` -> ``""``).
+    """
+    name = relpath
+    if name.endswith(".py"):
+        name = name[: -len(".py")]
+    name = name.replace(os.sep, ".").replace("/", ".")
+    if name == "__init__":
+        return ""
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method body in the project."""
+
+    key: str  # "<module>::<qualname>"
+    qualname: str  # "Class.method" or "func"
+    module: SourceModule
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_key: Optional[str] = None
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus the type facts the checkers need."""
+
+    key: str  # "<module>::ClassName"
+    name: str
+    module: SourceModule
+    node: ast.ClassDef
+    base_names: List[str] = field(default_factory=list)
+    bases: List[str] = field(default_factory=list)  # resolved class keys
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fn key
+    # attr -> class key inferred from __init__ assignments / annotations
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    # lock attr -> reentrant?
+    lock_attrs: Dict[str, bool] = field(default_factory=dict)
+    # lock attr -> guarded attribute names (the _GUARDED registry)
+    guarded: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module symbol table."""
+
+    key: str
+    module: SourceModule
+    is_package: bool
+    # bound name -> (module key, symbol or None when the name IS a module)
+    imports: Dict[str, Tuple[str, Optional[str]]] = field(default_factory=dict)
+    functions: Dict[str, str] = field(default_factory=dict)  # name -> fn key
+    classes: Dict[str, str] = field(default_factory=dict)  # name -> class key
+
+
+@dataclass
+class Scope:
+    """Name environment for resolving calls inside one function body."""
+
+    function: FunctionInfo
+    module_info: ModuleInfo
+    # local / parameter name -> class key (only names with a known type)
+    local_types: Dict[str, str] = field(default_factory=dict)
+
+
+class CallGraph:
+    """Indexes and resolution over a set of parsed modules."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        # Candidate root package names ("repro", fixture dirs in tests):
+        # absolute imports may carry them as a prefix to strip.
+        self._root_names: set[str] = set()
+        self._scopes: Dict[str, Scope] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, modules: Sequence[SourceModule]) -> "CallGraph":
+        graph = cls()
+        for module in modules:
+            graph._index_module(module)
+        for module in modules:
+            graph._collect_imports(module)
+        # Type facts depend on imports being in place; bases depend on
+        # classes being indexed everywhere.
+        for info in list(graph.classes.values()):
+            graph._resolve_bases(info)
+        for info in list(graph.classes.values()):
+            graph._infer_class_facts(info)
+        return graph
+
+    def _index_module(self, module: SourceModule) -> None:
+        key = module_key(module.relpath)
+        is_package = os.path.basename(module.relpath) == "__init__.py"
+        info = ModuleInfo(key=key, module=module, is_package=is_package)
+        self.modules[key] = info
+        root = module.path
+        rel = module.relpath
+        if root.endswith(rel):
+            base = os.path.basename(os.path.dirname(root[: -len(rel)] or "."))
+            if base:
+                self._root_names.add(base)
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(
+                    key=f"{key}::{stmt.name}",
+                    qualname=stmt.name,
+                    module=module,
+                    node=stmt,
+                )
+                self.functions[fn.key] = fn
+                info.functions[stmt.name] = fn.key
+            elif isinstance(stmt, ast.ClassDef):
+                cls_info = ClassInfo(
+                    key=f"{key}::{stmt.name}",
+                    name=stmt.name,
+                    module=module,
+                    node=stmt,
+                    base_names=[dotted_name(b) for b in stmt.bases],
+                )
+                self.classes[cls_info.key] = cls_info
+                info.classes[stmt.name] = cls_info.key
+                for member in stmt.body:
+                    if isinstance(
+                        member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        fn = FunctionInfo(
+                            key=f"{key}::{stmt.name}.{member.name}",
+                            qualname=f"{stmt.name}.{member.name}",
+                            module=module,
+                            node=member,
+                            class_key=cls_info.key,
+                        )
+                        self.functions[fn.key] = fn
+                        cls_info.methods[member.name] = fn.key
+
+    def _collect_imports(self, module: SourceModule) -> None:
+        info = self.modules[module_key(module.relpath)]
+        # Walk the whole tree: TYPE_CHECKING-only imports sit inside an
+        # ``if`` block but still name the types annotations refer to.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = self._known_module(alias.name)
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    if target is not None and alias.asname is not None:
+                        info.imports[bound] = (target, None)
+                    elif target is not None and "." not in alias.name:
+                        info.imports[bound] = (target, None)
+                    # ``import pkg.sub`` without an alias binds ``pkg``;
+                    # dotted lookups resolve through _known_module later.
+            elif isinstance(node, ast.ImportFrom):
+                target = self._import_from_module(info, node)
+                if target is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    submodule = self._known_module(
+                        f"{target}.{alias.name}" if target else alias.name
+                    )
+                    target_info = self.modules.get(target)
+                    defines_symbol = target_info is not None and (
+                        alias.name in target_info.functions
+                        or alias.name in target_info.classes
+                    )
+                    if defines_symbol or submodule is None:
+                        info.imports[bound] = (target, alias.name)
+                    else:
+                        info.imports[bound] = (submodule, None)
+
+    def _import_from_module(
+        self, info: ModuleInfo, node: ast.ImportFrom
+    ) -> Optional[str]:
+        if node.level == 0:
+            return self._known_module(node.module or "")
+        # Relative import: start from the containing package.
+        parts = info.key.split(".") if info.key else []
+        if not info.is_package and parts:
+            parts = parts[:-1]
+        drop = node.level - 1
+        if drop > len(parts):
+            return None
+        if drop:
+            parts = parts[:-drop]
+        if node.module:
+            parts = parts + node.module.split(".")
+        return ".".join(parts)
+
+    def _known_module(self, name: str) -> Optional[str]:
+        """Map an absolute import name onto an analyzed module key."""
+        if name in self.modules:
+            return name
+        head, _, tail = name.partition(".")
+        if head in self._root_names:
+            if tail in self.modules:
+                return tail
+            if tail == "" and "" in self.modules:
+                return ""
+        return None
+
+    def _resolve_bases(self, info: ClassInfo) -> None:
+        for base_name in info.base_names:
+            resolved = self._class_by_name(
+                self.modules[info.key.split("::", 1)[0]], base_name
+            )
+            if resolved is not None:
+                info.bases.append(resolved)
+
+    def _infer_class_facts(self, info: ClassInfo) -> None:
+        mod = self.modules[info.key.split("::", 1)[0]]
+        for stmt in info.node.body:
+            # Class-level: ``attr: ClassName`` declarations and _GUARDED.
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                typed = self._annotation_class(mod, stmt.annotation)
+                if typed is not None:
+                    info.attr_types.setdefault(stmt.target.id, typed)
+            elif (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "_GUARDED"
+                and isinstance(stmt.value, ast.Dict)
+            ):
+                self._parse_guarded(info, stmt.value)
+        for method_key in info.methods.values():
+            self._infer_from_method(info, mod, self.functions[method_key])
+
+    def _parse_guarded(self, info: ClassInfo, node: ast.Dict) -> None:
+        for key, value in zip(node.keys, node.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            attrs: List[str] = []
+            if isinstance(value, (ast.Tuple, ast.List)):
+                for element in value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        attrs.append(element.value)
+            elif isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                attrs.append(value.value)
+            info.guarded[key.value] = tuple(attrs)
+
+    def _infer_from_method(
+        self, info: ClassInfo, mod: ModuleInfo, fn: FunctionInfo
+    ) -> None:
+        # Annotated parameters type the attribute they are stored into and
+        # (via Scope) receivers inside the body.
+        param_types: Dict[str, str] = {}
+        args = fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            typed = self._annotation_class(mod, arg.annotation)
+            if typed is not None:
+                param_types[arg.arg] = typed
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            lock_kind = self._lock_factory(node.value)
+            if lock_kind is not None:
+                info.lock_attrs.setdefault(attr, lock_kind)
+                continue
+            if isinstance(node.value, ast.ListComp):
+                # e.g. ``[make_lock(...) for _ in range(N)]`` — a stripe
+                # array; treated as a single named lock by the checkers.
+                elt = node.value.elt
+                kind = self._lock_factory(elt)
+                if kind is not None:
+                    info.lock_attrs.setdefault(attr, kind)
+                continue
+            typed = self._value_class(mod, node.value, param_types)
+            if typed is not None:
+                info.attr_types.setdefault(attr, typed)
+
+    def _lock_factory(self, value: ast.AST) -> Optional[bool]:
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            if name in _LOCK_FACTORIES:
+                return _LOCK_FACTORIES[name]
+            short = name.rsplit(".", 1)[-1]
+            if short in ("Lock", "RLock") and name.count(".") <= 1:
+                return short == "RLock"
+        return None
+
+    def _value_class(
+        self,
+        mod: ModuleInfo,
+        value: ast.AST,
+        local_types: Dict[str, str],
+    ) -> Optional[str]:
+        """Class key of an expression's value, when statically evident."""
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            resolved = self._class_by_name(mod, name) if name else None
+            if resolved is not None:
+                return resolved
+            return None
+        if isinstance(value, ast.Name):
+            return local_types.get(value.id)
+        return None
+
+    # -- annotation / name resolution --------------------------------------
+
+    def _annotation_class(
+        self, mod: ModuleInfo, ann: Optional[ast.AST]
+    ) -> Optional[str]:
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+            return self._annotation_class(mod, ann)
+        if isinstance(ann, ast.Subscript):
+            base = dotted_name(ann.value)
+            if base.rsplit(".", 1)[-1] == "Optional":
+                return self._annotation_class(mod, ann.slice)
+            return None
+        if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+            candidates = []
+            for side in (ann.left, ann.right):
+                if isinstance(side, ast.Constant) and side.value is None:
+                    continue
+                resolved = self._annotation_class(mod, side)
+                if resolved is not None:
+                    candidates.append(resolved)
+            return candidates[0] if len(candidates) == 1 else None
+        name = dotted_name(ann)
+        if not name or name == "None":
+            return None
+        return self._class_by_name(mod, name)
+
+    def _class_by_name(self, mod: ModuleInfo, name: str) -> Optional[str]:
+        """Resolve a (possibly dotted) type name in a module's namespace."""
+        if not name:
+            return None
+        head, _, rest = name.partition(".")
+        if not rest:
+            if head in mod.classes:
+                return mod.classes[head]
+            imported = mod.imports.get(head)
+            if imported is not None:
+                target_key, symbol = imported
+                target = self.modules.get(target_key)
+                if target is None:
+                    return None
+                if symbol is None:
+                    return None
+                if symbol in target.classes:
+                    return target.classes[symbol]
+                # Re-exports: chase one level of ``from .x import C``.
+                chained = target.imports.get(symbol)
+                if chained is not None:
+                    inner = self.modules.get(chained[0])
+                    if inner is not None and chained[1] in inner.classes:
+                        return inner.classes[chained[1]]
+            return None
+        # Dotted: resolve the head to a module, look the rest up there.
+        imported = mod.imports.get(head)
+        if imported is not None and imported[1] is None:
+            target = self.modules.get(imported[0])
+            if target is not None:
+                return self._class_by_name(target, rest)
+        known = self._known_module(".".join(name.split(".")[:-1]))
+        if known is not None:
+            target = self.modules.get(known)
+            if target is not None:
+                leaf = name.rsplit(".", 1)[-1]
+                return target.classes.get(leaf)
+        return None
+
+    # -- scopes ------------------------------------------------------------
+
+    def scope(self, fn: FunctionInfo) -> Scope:
+        cached = self._scopes.get(fn.key)
+        if cached is not None:
+            return cached
+        mod = self.modules[fn.key.split("::", 1)[0]]
+        scope = Scope(function=fn, module_info=mod)
+        args = fn.node.args
+        params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if fn.class_key is not None and params and params[0].arg in (
+            "self",
+            "cls",
+        ):
+            scope.local_types[params[0].arg] = fn.class_key
+            params = params[1:]
+        for arg in params:
+            typed = self._annotation_class(mod, arg.annotation)
+            if typed is not None:
+                scope.local_types[arg.arg] = typed
+        self._collect_local_types(scope)
+        self._scopes[fn.key] = scope
+        return scope
+
+    def _collect_local_types(self, scope: Scope) -> None:
+        poisoned: set[str] = set()
+        assigns = [
+            node
+            for node in walk_skipping_nested_functions(scope.function.node)
+            if isinstance(node, ast.Assign)
+        ]
+        for node in sorted(assigns, key=lambda n: n.lineno):
+            if len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name in poisoned:
+                continue
+            typed = self._expression_class(scope, node.value)
+            existing = scope.local_types.get(name)
+            if typed is None or (existing is not None and existing != typed):
+                # Conflicting or unknown assignment: drop to unknown so a
+                # rebinding never mis-resolves later calls.
+                scope.local_types.pop(name, None)
+                poisoned.add(name)
+            else:
+                scope.local_types[name] = typed
+
+    def _expression_class(
+        self, scope: Scope, value: ast.AST
+    ) -> Optional[str]:
+        """Class key for an arbitrary expression in a function body."""
+        if isinstance(value, ast.Name):
+            return scope.local_types.get(value.id)
+        if isinstance(value, ast.Attribute):
+            chain = dotted_name(value)
+            return self._chain_class(scope, chain) if chain else None
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            resolved = (
+                self._class_by_name(scope.module_info, name) if name else None
+            )
+            if resolved is not None:
+                return resolved
+            # Fall back to the return annotation of a resolved callee.
+            callee = self.resolve_call(value, scope)
+            if callee is not None:
+                returns = callee.node.returns
+                target_mod = self.modules[callee.key.split("::", 1)[0]]
+                return self._annotation_class(target_mod, returns)
+            return None
+        return None
+
+    def _chain_class(self, scope: Scope, chain: str) -> Optional[str]:
+        """Class key of a ``a.b.c`` value chain, or None."""
+        parts = chain.split(".")
+        head = parts[0]
+        current: Optional[str] = scope.local_types.get(head)
+        index = 1
+        if current is None:
+            imported = scope.module_info.imports.get(head)
+            if imported is not None and imported[1] is None:
+                # Module-rooted chain: class attribute lookups on modules
+                # are rare in this codebase; resolve class names only.
+                target = self.modules.get(imported[0])
+                if target is not None and len(parts) == 2:
+                    return target.classes.get(parts[1])
+                return None
+            if head in scope.module_info.classes and len(parts) == 1:
+                return scope.module_info.classes[head]
+            return None
+        while index < len(parts):
+            cls = self.classes.get(current or "")
+            if cls is None:
+                return None
+            nxt = cls.attr_types.get(parts[index])
+            if nxt is None:
+                return None
+            current = nxt
+            index += 1
+        return current
+
+    # -- call resolution ---------------------------------------------------
+
+    def resolve_call(
+        self, call: ast.Call, scope: Scope
+    ) -> Optional[FunctionInfo]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name_call(func.id, scope)
+        if isinstance(func, ast.Attribute):
+            chain = dotted_name(func)
+            if not chain:
+                return None
+            parts = chain.split(".")
+            method = parts[-1]
+            receiver = ".".join(parts[:-1])
+            if not receiver:
+                return None
+            receiver_class = self._chain_class(scope, receiver)
+            if receiver_class is not None:
+                return self._method(receiver_class, method)
+            # Module-rooted: ``mod.helper(...)``.
+            imported = scope.module_info.imports.get(parts[0])
+            if (
+                imported is not None
+                and imported[1] is None
+                and len(parts) == 2
+            ):
+                target = self.modules.get(imported[0])
+                if target is not None and method in target.functions:
+                    return self.functions[target.functions[method]]
+            return None
+        return None
+
+    def _resolve_name_call(
+        self, name: str, scope: Scope
+    ) -> Optional[FunctionInfo]:
+        if name in scope.local_types:
+            return None  # calling a value, not a def
+        mod = scope.module_info
+        if name in mod.functions:
+            return self.functions[mod.functions[name]]
+        if name in mod.classes:
+            return self._method(mod.classes[name], "__init__")
+        imported = mod.imports.get(name)
+        if imported is not None and imported[1] is not None:
+            target = self.modules.get(imported[0])
+            if target is not None:
+                if imported[1] in target.functions:
+                    return self.functions[target.functions[imported[1]]]
+                if imported[1] in target.classes:
+                    return self._method(
+                        target.classes[imported[1]], "__init__"
+                    )
+        return None
+
+    def _method(
+        self, class_key: str, method: str
+    ) -> Optional[FunctionInfo]:
+        seen: set[str] = set()
+        stack = [class_key]
+        while stack:
+            key = stack.pop(0)
+            if key in seen:
+                continue
+            seen.add(key)
+            cls = self.classes.get(key)
+            if cls is None:
+                continue
+            fn_key = cls.methods.get(method)
+            if fn_key is not None:
+                return self.functions[fn_key]
+            stack.extend(cls.bases)
+        return None
+
+    # -- iteration helpers -------------------------------------------------
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()
+
+    def class_of(self, fn: FunctionInfo) -> Optional[ClassInfo]:
+        if fn.class_key is None:
+            return None
+        return self.classes.get(fn.class_key)
+
+
+# One analyze() run hands the same module list to every project checker;
+# building the graph once per run (not once per checker) keeps the pass
+# linear.  Keyed on object identities, which are stable for the lifetime
+# of the list the runner holds.
+_CACHE: List[Tuple[Tuple[int, ...], CallGraph]] = []
+
+
+def shared_call_graph(modules: Sequence[SourceModule]) -> CallGraph:
+    """The memoized project call graph for this exact module list."""
+    key = tuple(id(m) for m in modules)
+    for cached_key, cached in _CACHE:
+        if cached_key == key:
+            return cached
+    graph = CallGraph.build(modules)
+    del _CACHE[:]
+    _CACHE.append((key, graph))
+    return graph

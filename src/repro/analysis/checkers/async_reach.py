@@ -1,0 +1,109 @@
+"""async-reach: coroutines must not reach blocking sync calls via helpers.
+
+PR 9's ``async-blocking`` checker is intra-function: it sees ``open()``
+written directly inside an ``async def``.  This checker is its
+interprocedural generalization — a coroutine that calls an innocent sync
+helper which, two frames down, sleeps or does file/socket I/O blocks the
+event loop exactly the same way.
+
+Traversal follows resolved *sync* call targets only: awaited coroutines
+are analyzed on their own, and sync functions passed (not called) —
+``run_in_executor(pool, self._run_query, ...)`` — never create a call
+edge, so the legitimate executor escape hatch stays silent.  Direct
+blocking inside the coroutine body itself is left to ``async-blocking``;
+this checker reports only sites reached through at least one call edge,
+anchored at the coroutine's call into the offending chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from ..base import Checker, SourceModule, register
+from ..concurrency import KIND_ASYNC, ConcurrencyModel
+from ..findings import Finding
+
+__all__ = ["AsyncReachChecker"]
+
+
+@register
+class AsyncReachChecker(Checker):
+    id = "async-reach"
+    description = (
+        "no blocking sync call (sleep, file/socket/process I/O, chunk "
+        "fetch) is transitively reachable from a coroutine body"
+    )
+    severity = "error"
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterator[Finding]:
+        model = ConcurrencyModel.build(modules)
+        blocking_below = self._transitive_blocking(model)
+        for summary in model.iter_summaries():
+            fn = summary.fn
+            if not fn.is_async:
+                continue
+            for call in summary.calls:
+                callee = call.callee
+                if callee is None:
+                    continue
+                target = model.summaries.get(callee)
+                if target is None or target.fn.is_async:
+                    continue
+                below = blocking_below.get(callee)
+                if below is None:
+                    continue
+                desc, chain, line = below
+                via = " -> ".join(
+                    model.summaries[key].fn.qualname for key in chain
+                )
+                site_module = model.summaries[chain[-1]].fn.module
+                yield self.finding(
+                    fn.module,
+                    call.line,
+                    f"coroutine {fn.qualname} reaches blocking {desc} "
+                    f"({site_module.relpath}:{line}) via sync call chain "
+                    f"{via}",
+                )
+
+    @staticmethod
+    def _transitive_blocking(
+        model: ConcurrencyModel,
+    ) -> Dict[str, Tuple[str, Tuple[str, ...], int]]:
+        """Blocking reachable from each *sync* function: (desc, chain, line).
+
+        The chain ends at the function whose body contains the blocking
+        expression; ``line`` is that expression's line.  Async functions
+        never appear (they are not traversed through).
+        """
+        found: Dict[str, Tuple[str, Tuple[str, ...], int]] = {}
+        for key, summary in model.summaries.items():
+            if summary.fn.is_async:
+                continue
+            for site in summary.blocking:
+                if KIND_ASYNC in site.kinds:
+                    found[key] = (site.desc, (key,), site.line)
+                    break
+        changed = True
+        while changed:
+            changed = False
+            for key, summary in model.summaries.items():
+                if key in found or summary.fn.is_async:
+                    continue
+                best: Optional[Tuple[str, Tuple[str, ...], int]] = None
+                for call in summary.calls:
+                    callee = call.callee
+                    if callee is None or callee not in found:
+                        continue
+                    target = model.summaries.get(callee)
+                    if target is not None and target.fn.is_async:
+                        continue
+                    desc, chain, line = found[callee]
+                    candidate = (desc, (key, *chain), line)
+                    if best is None or len(candidate[1]) < len(best[1]):
+                        best = candidate
+                if best is not None:
+                    found[key] = best
+                    changed = True
+        return found

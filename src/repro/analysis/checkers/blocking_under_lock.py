@@ -1,0 +1,125 @@
+"""blocking-under-lock: nothing slow may run while a _GUARDED lock is held.
+
+A ``_GUARDED`` registry marks a lock as a *hot* mutex: it serializes
+counter updates and pointer swaps on paths every concurrent query crosses.
+Sleeping, file/network I/O, chunk fetches, or waiting on futures/pools
+while holding one turns that lock into a system-wide convoy (and, for
+executor locks, a deadlock risk when the waited-on work needs the same
+lock).
+
+Interprocedural: a blocking call three frames below the ``with`` block is
+found by following resolved call edges with the held-lock set attached
+(see :mod:`repro.analysis.concurrency`).  The blocking vocabulary covers
+``time.sleep``, the ``open()`` builtin, ``os``/``shutil``/``numpy`` file
+operations, ``socket``/``subprocess``/``requests``/``urllib`` calls,
+``.result()``/``.submit()``/``.wait()``/``.shutdown()`` (a
+``shutdown(wait=False)`` is exempt), and the engine's chunk-fetch entry
+points (``get_or_load``, ``load_chunk``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from ..base import Checker, SourceModule, register
+from ..concurrency import KIND_LOCK, ConcurrencyModel, LockId
+from ..findings import Finding
+
+__all__ = ["BlockingUnderLockChecker"]
+
+
+@register
+class BlockingUnderLockChecker(Checker):
+    id = "blocking-under-lock"
+    description = (
+        "no sleeps, file/network I/O, chunk fetches, or future/pool waits "
+        "are reachable while a _GUARDED lock is held"
+    )
+    severity = "error"
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterator[Finding]:
+        model = ConcurrencyModel.build(modules)
+        if not model.guarded:
+            return
+        blocking_below = self._transitive_blocking(model)
+        for summary in model.iter_summaries():
+            fn = summary.fn
+            for site in summary.blocking:
+                if KIND_LOCK not in site.kinds:
+                    continue
+                guarded = self._guarded_held(model, site.held)
+                if guarded is None:
+                    continue
+                yield self.finding(
+                    fn.module,
+                    site.line,
+                    f"{fn.qualname} performs blocking {site.desc} while "
+                    f"holding guarded lock {guarded.name}",
+                )
+            for call in summary.calls:
+                if call.callee is None or not call.held:
+                    continue
+                guarded = self._guarded_held(model, call.held)
+                if guarded is None:
+                    continue
+                below = blocking_below.get(call.callee)
+                if below is None:
+                    continue
+                desc, chain = below
+                via = " -> ".join(
+                    model.summaries[key].fn.qualname for key in chain
+                )
+                yield self.finding(
+                    fn.module,
+                    call.line,
+                    f"{fn.qualname} holds guarded lock {guarded.name} "
+                    f"while calling {call.text}(), which reaches blocking "
+                    f"{desc} via {via}",
+                )
+
+    @staticmethod
+    def _guarded_held(
+        model: ConcurrencyModel, held: Tuple[LockId, ...]
+    ) -> Optional[LockId]:
+        for lock in held:
+            if lock in model.guarded:
+                return lock
+        return None
+
+    @staticmethod
+    def _transitive_blocking(
+        model: ConcurrencyModel,
+    ) -> Dict[str, Tuple[str, Tuple[str, ...]]]:
+        """For each function: a blocking site it can reach (desc, chain).
+
+        The chain is the shortest witness path of function keys ending at
+        the function containing the blocking expression.  Functions that
+        reach no blocking call are absent.
+        """
+        found: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+        for key, summary in model.summaries.items():
+            for site in summary.blocking:
+                if KIND_LOCK in site.kinds:
+                    found[key] = (site.desc, (key,))
+                    break
+        changed = True
+        while changed:
+            changed = False
+            for key, summary in model.summaries.items():
+                if key in found:
+                    continue
+                best: Optional[Tuple[str, Tuple[str, ...]]] = None
+                for call in summary.calls:
+                    callee = call.callee
+                    if callee is None or callee not in found:
+                        continue
+                    desc, chain = found[callee]
+                    candidate = (desc, (key, *chain))
+                    if best is None or len(candidate[1]) < len(best[1]):
+                        best = candidate
+                if best is not None:
+                    found[key] = best
+                    changed = True
+        return found

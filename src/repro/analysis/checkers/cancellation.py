@@ -7,15 +7,18 @@ every chunk boundary.  A loop that forgets the poll turns a 30s timeout
 into "however long the remaining chunks take" while holding a session
 pool slot — the exact failure admission control exists to prevent.
 
-Heuristic, tuned to the engine's vocabulary: a ``for`` loop qualifies
-when its iterable mentions a fetch schedule (``schedule``,
-``fetch_order``, ``as_completed``) *and* its body performs chunk
+Heuristic, tuned to the engine's vocabulary: a ``for``/``async for``
+loop qualifies when its iterable mentions a fetch schedule
+(``schedule``, ``fetch_order``, ``as_completed``), and a ``while`` loop
+when its test does; in both cases the body must also perform chunk
 materialization (``get_or_load``, ``load_chunk``, ``_fetch_one``,
 ``decode``/``produce`` helpers, or draining ``future.result()``).  Such a
 loop must call one of the cancellation polls (``check_cancelled``,
 ``raise_if_cancelled``, ``_check_cancelled``) somewhere in its body.
 Claim/bookkeeping sweeps over the same schedules fetch nothing and are
-deliberately not flagged.
+deliberately not flagged, and neither are ``while`` loops that gate on
+other conditions (draining ``while pending:`` gathers poll explicitly
+and carry the schedule word only when they iterate one).
 """
 
 from __future__ import annotations
@@ -55,10 +58,13 @@ class CancellationChecker(Checker):
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
-            if not isinstance(node, ast.For):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                guard = module.segment(node.iter)
+            elif isinstance(node, ast.While):
+                guard = module.segment(node.test)
+            else:
                 continue
-            iterable = module.segment(node.iter)
-            if not SCHEDULE_PATTERN.search(iterable):
+            if not SCHEDULE_PATTERN.search(guard):
                 continue
             body_calls = {
                 call_name(call)
@@ -69,10 +75,15 @@ class CancellationChecker(Checker):
                 continue  # claim/bookkeeping sweep: nothing to cancel
             if body_calls & POLL_CALLS:
                 continue
+            kind = (
+                "while loop on"
+                if isinstance(node, ast.While)
+                else "chunk loop over"
+            )
             yield self.finding(
                 module,
                 node,
-                f"chunk loop over {iterable!r} fetches without polling "
-                "the cancel token; a timed-out or cancelled query would "
-                "keep fetching every remaining chunk",
+                f"{kind} {guard!r} fetches without polling the cancel "
+                "token; a timed-out or cancelled query would keep "
+                "fetching every remaining chunk",
             )

@@ -1,0 +1,216 @@
+"""lock-order: the global lock-acquisition graph must stay acyclic.
+
+Interprocedural: held-lock sets are propagated along resolved call edges
+from every ``with <lock>:`` site (see :mod:`repro.analysis.concurrency`),
+producing edges ``A -> B`` meaning "some thread may hold A while acquiring
+B".  Two threads taking the same pair of locks in opposite orders is the
+classic deadlock, so any cycle in this graph is reported — with a witness
+path for both directions, down to the function that performs the inner
+acquisition.
+
+Also reported: re-acquiring a non-reentrant lock the caller already holds
+(directly, or through a resolved callee) — a guaranteed self-deadlock
+rather than a racy one.
+
+The runtime counterpart is ``repro.util.lock_sanitizer``
+(``REPRO_LOCK_SANITIZER=1``), which enforces the same invariant over the
+orders actually observed while the test suite runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from ..base import Checker, SourceModule, register
+from ..concurrency import ConcurrencyModel, LockId, OrderEdge
+from ..findings import Finding
+
+__all__ = ["LockOrderChecker"]
+
+
+def _strongly_connected(
+    nodes: Set[LockId], edges: Dict[Tuple[LockId, LockId], OrderEdge]
+) -> List[List[LockId]]:
+    """Tarjan's SCC, iterative; returns components of size > 1."""
+    adjacency: Dict[LockId, List[LockId]] = {n: [] for n in nodes}
+    for a, b in edges:
+        adjacency[a].append(b)
+    index: Dict[LockId, int] = {}
+    lowlink: Dict[LockId, int] = {}
+    on_stack: Set[LockId] = set()
+    stack: List[LockId] = []
+    counter = 0
+    components: List[List[LockId]] = []
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        work: List[Tuple[LockId, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = adjacency[node]
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in index:
+                    work.append((node, child_index))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: List[LockId] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    components.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+@register
+class LockOrderChecker(Checker):
+    id = "lock-order"
+    description = (
+        "the interprocedural lock-acquisition-order graph has no cycles "
+        "(potential deadlocks) and no non-reentrant re-acquisition"
+    )
+    severity = "error"
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterator[Finding]:
+        model = ConcurrencyModel.build(modules)
+        yield from self._self_deadlocks(model)
+        yield from self._cycles(model)
+
+    # -- self-deadlocks ----------------------------------------------------
+
+    def _self_deadlocks(self, model: ConcurrencyModel) -> Iterator[Finding]:
+        trans = model.transitive_acquires()
+        for summary in model.iter_summaries():
+            fn = summary.fn
+            for acq in summary.acquires:
+                if acq.lock in acq.held and acq.lock not in model.reentrant:
+                    yield self.finding(
+                        fn.module,
+                        acq.line,
+                        f"{fn.qualname} re-acquires non-reentrant lock "
+                        f"{acq.lock.name} it already holds "
+                        "(guaranteed self-deadlock)",
+                    )
+            for call in summary.calls:
+                if call.callee is None or not call.held:
+                    continue
+                for lock in call.held:
+                    if lock in model.reentrant:
+                        continue
+                    if lock in trans.get(call.callee, frozenset()):
+                        chain = model.acquire_path(call.callee, lock)
+                        via = " -> ".join(
+                            model.summaries[key].fn.qualname for key in chain
+                        )
+                        yield self.finding(
+                            fn.module,
+                            call.line,
+                            f"{fn.qualname} holds non-reentrant lock "
+                            f"{lock.name} while calling {call.text}(), "
+                            f"which may re-acquire it via {via} "
+                            "(potential self-deadlock)",
+                        )
+
+    # -- order cycles ------------------------------------------------------
+
+    def _cycles(self, model: ConcurrencyModel) -> Iterator[Finding]:
+        edges = model.order_edges()
+        nodes: Set[LockId] = set()
+        for a, b in edges:
+            nodes.add(a)
+            nodes.add(b)
+        for component in _strongly_connected(nodes, edges):
+            members = set(component)
+            scc_edges = {
+                pair: edge
+                for pair, edge in edges.items()
+                if pair[0] in members and pair[1] in members
+            }
+            # Pick one forward edge and the shortest opposing path back;
+            # together they are the two witnesses of the inversion.
+            first_pair = sorted(scc_edges)[0]
+            forward = scc_edges[first_pair]
+            backward_path = self._edge_path(
+                scc_edges, first_pair[1], first_pair[0]
+            )
+            witnesses = [self._render_edge(model, forward)]
+            witnesses.extend(
+                self._render_edge(model, scc_edges[pair])
+                for pair in backward_path
+            )
+            order = " -> ".join(lock.name for lock in component)
+            yield self.finding(
+                model.summaries[forward.fn_key].fn.module,
+                forward.line,
+                "potential deadlock: lock-order cycle between "
+                f"{order}; " + "; ".join(witnesses),
+            )
+
+    @staticmethod
+    def _edge_path(
+        edges: Dict[Tuple[LockId, LockId], OrderEdge],
+        start: LockId,
+        goal: LockId,
+    ) -> List[Tuple[LockId, LockId]]:
+        """BFS over edges from ``start`` back to ``goal``."""
+        parents: Dict[LockId, Tuple[LockId, LockId]] = {}
+        queue = [start]
+        seen = {start}
+        while queue:
+            here = queue.pop(0)
+            for (a, b), _ in edges.items():
+                if a != here or b in seen:
+                    continue
+                parents[b] = (a, b)
+                if b == goal:
+                    path = [parents[b]]
+                    node = a
+                    while node != start:
+                        path.append(parents[node])
+                        node = parents[node][0]
+                    return list(reversed(path))
+                seen.add(b)
+                queue.append(b)
+        return []
+
+    def _render_edge(
+        self, model: ConcurrencyModel, edge: OrderEdge
+    ) -> str:
+        fn = model.summaries[edge.fn_key].fn
+        where = f"{fn.module.relpath}:{edge.line}"
+        if edge.via is None:
+            return (
+                f"{fn.qualname} holds {edge.first.name} while acquiring "
+                f"{edge.second.name} ({where})"
+            )
+        chain = model.acquire_path(edge.via, edge.second)
+        via = " -> ".join(
+            model.summaries[key].fn.qualname for key in chain
+        )
+        return (
+            f"{fn.qualname} holds {edge.first.name} and reaches an "
+            f"acquisition of {edge.second.name} via {via} ({where})"
+        )

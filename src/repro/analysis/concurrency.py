@@ -1,0 +1,450 @@
+"""Per-function concurrency summaries over the project call graph.
+
+This is the shared substrate of the three interprocedural checkers:
+
+* which locks a function acquires directly (``with self._lock:`` and
+  friends), and which locks were already held at each acquisition site;
+* every call site, with the locks held around it and its resolved target
+  (or ``None`` — the conservative unknown);
+* every *intrinsically blocking* expression (sleeps, file and network
+  I/O, future/pool waits, chunk fetches), tagged with the vocabulary it
+  belongs to.
+
+Lock identity is ``(owner, attr)`` — class-level, not instance-level —
+mirroring both the ``_GUARDED`` convention and the runtime sanitizer's
+``"ClassName._attr"`` naming, so the static order graph and the dynamic
+one line up.  A ``with`` expression that cannot be traced to a known lock
+attribute still becomes a (function-scoped) lock when its name contains
+"lock"; anything else is ignored rather than guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from .astutil import dotted_name
+from .base import SourceModule
+from .callgraph import CallGraph, FunctionInfo, Scope, shared_call_graph
+
+__all__ = [
+    "Acquisition",
+    "BlockingSite",
+    "ConcurrencyModel",
+    "FunctionSummary",
+    "KIND_ASYNC",
+    "KIND_LOCK",
+    "LockId",
+    "LockedCall",
+]
+
+KIND_ASYNC = "async"  # blocks an event loop
+KIND_LOCK = "lock"  # too slow to run under a _GUARDED lock
+
+# Fully-dotted calls that block in any context.
+_BLOCKING_DOTTED: Dict[str, str] = {
+    "time.sleep": "time.sleep()",
+    "os.system": "os.system()",
+    "os.popen": "os.popen()",
+    "os.wait": "os.wait()",
+    "os.waitpid": "os.waitpid()",
+}
+
+# Dotted calls that are file I/O: fine in a worker thread, but neither on
+# the event loop nor under a guarded lock.
+_FILE_IO_DOTTED: Dict[str, str] = {
+    "os.fsync": "os.fsync()",
+    "os.replace": "os.replace()",
+    "os.rename": "os.rename()",
+    "os.makedirs": "os.makedirs()",
+    "os.listdir": "os.listdir()",
+    "os.remove": "os.remove()",
+    "os.unlink": "os.unlink()",
+    "shutil.rmtree": "shutil.rmtree()",
+    "shutil.copytree": "shutil.copytree()",
+    "shutil.move": "shutil.move()",
+    "np.save": "np.save()",
+    "np.load": "np.load()",
+    "numpy.save": "numpy.save()",
+    "numpy.load": "numpy.load()",
+}
+
+# Any call rooted in one of these modules does network / process I/O.
+_BLOCKING_MODULE_ROOTS = ("socket", "subprocess", "requests", "urllib")
+
+# Engine chunk-fetch entry points: remote fetch + decode, the slowest
+# thing a thread can do; never acceptable under a lock or on the loop.
+_FETCH_METHODS = {
+    "load_chunk",
+    "load_chunk_range",
+    "get_or_load",
+    "urlopen",
+    "read_samples",
+    "read_samples_in_range",
+}
+
+# Methods that wait on other threads/processes: poison under a lock, but
+# routine in the sync helpers the serving layer runs in executors.
+_WAIT_METHODS = {"result", "submit", "shutdown", "wait"}
+
+
+def _call_blocking(call: ast.Call) -> Optional[Tuple[str, FrozenSet[str]]]:
+    """``(description, kinds)`` when the call is intrinsically blocking."""
+    name = dotted_name(call.func)
+    both = frozenset((KIND_ASYNC, KIND_LOCK))
+    if name in _BLOCKING_DOTTED:
+        return _BLOCKING_DOTTED[name], both
+    if name in _FILE_IO_DOTTED:
+        return _FILE_IO_DOTTED[name], both
+    root = name.split(".", 1)[0]
+    if root in _BLOCKING_MODULE_ROOTS and "." in name:
+        return f"{root} call {name}()", both
+    if isinstance(call.func, ast.Name):
+        if call.func.id == "open":
+            return "open()", both
+        if call.func.id == "input":
+            return "input()", frozenset((KIND_ASYNC,))
+    if isinstance(call.func, ast.Attribute):
+        method = call.func.attr
+        if method in _FETCH_METHODS:
+            return f"chunk fetch .{method}()", both
+        if method in _WAIT_METHODS:
+            if method == "shutdown" and _shutdown_nowait(call):
+                return None
+            return f".{method}()", frozenset((KIND_LOCK,))
+    return None
+
+
+def _shutdown_nowait(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if (
+            keyword.arg == "wait"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is False
+        ):
+            return True
+    return False
+
+
+@dataclass(frozen=True, order=True)
+class LockId:
+    """Class-level identity of a lock (``owner`` is a class or function)."""
+
+    owner: str
+    attr: str
+
+    @property
+    def name(self) -> str:
+        return f"{self.owner}.{self.attr}"
+
+
+@dataclass
+class Acquisition:
+    """One ``with <lock>:`` site, with the locks already held around it."""
+
+    lock: LockId
+    held: Tuple[LockId, ...]
+    line: int
+
+
+@dataclass
+class LockedCall:
+    """One call site; ``callee`` is None when resolution failed."""
+
+    callee: Optional[str]
+    held: Tuple[LockId, ...]
+    line: int
+    text: str
+
+
+@dataclass
+class BlockingSite:
+    """An intrinsically blocking expression inside a function body."""
+
+    line: int
+    desc: str
+    kinds: FrozenSet[str]
+    held: Tuple[LockId, ...]
+
+
+@dataclass
+class FunctionSummary:
+    fn: FunctionInfo
+    acquires: List[Acquisition] = field(default_factory=list)
+    calls: List[LockedCall] = field(default_factory=list)
+    blocking: List[BlockingSite] = field(default_factory=list)
+
+
+@dataclass
+class OrderEdge:
+    """``first`` was held while ``second`` was acquired, somewhere."""
+
+    first: LockId
+    second: LockId
+    fn_key: str
+    line: int
+    via: Optional[str]  # callee chain root for interprocedural edges
+
+
+class ConcurrencyModel:
+    """Summaries for every function, plus lock metadata and fixpoints."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.summaries: Dict[str, FunctionSummary] = {}
+        self.reentrant: set[LockId] = set()
+        self.guarded: set[LockId] = set()
+        self._transitive: Optional[Dict[str, FrozenSet[LockId]]] = None
+        for cls in graph.classes.values():
+            for attr, is_rlock in cls.lock_attrs.items():
+                if is_rlock:
+                    self.reentrant.add(LockId(cls.name, attr))
+            for lock_attr in cls.guarded:
+                self.guarded.add(LockId(cls.name, lock_attr))
+        for fn in graph.iter_functions():
+            self.summaries[fn.key] = self._summarize(fn)
+
+    @classmethod
+    def build(cls, modules: Sequence[SourceModule]) -> "ConcurrencyModel":
+        return cls(shared_call_graph(modules))
+
+    # -- lock expression resolution ----------------------------------------
+
+    def resolve_lock(
+        self, expr: ast.AST, scope: Scope
+    ) -> Optional[LockId]:
+        if isinstance(expr, ast.Call):
+            return None  # ``with open(...)``, ``with suppress(...)``
+        chain = dotted_name(expr)
+        if not chain:
+            return None
+        parts = chain.split(".")
+        if len(parts) == 1:
+            name = parts[0]
+            if "lock" in name.lower():
+                return LockId(scope.function.key, name)
+            return None
+        receiver, attr = ".".join(parts[:-1]), parts[-1]
+        receiver_class = self.graph._chain_class(scope, receiver)
+        if receiver_class is not None:
+            cls = self.graph.classes.get(receiver_class)
+            if cls is not None and (
+                attr in cls.lock_attrs or "lock" in attr.lower()
+            ):
+                return LockId(cls.name, attr)
+            return None
+        if "lock" in attr.lower():
+            # Unknown receiver: keep the lock function-scoped so two
+            # unrelated ``x.lock`` chains never alias into one identity.
+            return LockId(scope.function.key, chain)
+        return None
+
+    # -- per-function scan -------------------------------------------------
+
+    def _summarize(self, fn: FunctionInfo) -> FunctionSummary:
+        scope = self.graph.scope(fn)
+        summary = FunctionSummary(fn=fn)
+        self._scan(summary, scope, list(fn.node.body), ())
+        return summary
+
+    def _scan(
+        self,
+        summary: FunctionSummary,
+        scope: Scope,
+        stmts: List[ast.stmt],
+        held: Tuple[LockId, ...],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # runs later, not under these locks
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired: List[LockId] = []
+                for item in stmt.items:
+                    self._record_expr(
+                        summary, scope, item.context_expr, held
+                    )
+                    lock = self.resolve_lock(item.context_expr, scope)
+                    if lock is not None:
+                        summary.acquires.append(
+                            Acquisition(
+                                lock=lock,
+                                held=held + tuple(acquired),
+                                line=stmt.lineno,
+                            )
+                        )
+                        acquired.append(lock)
+                self._scan(summary, scope, stmt.body, held + tuple(acquired))
+                continue
+            self._record_stmt_exprs(summary, scope, stmt, held)
+            for body in _nested_bodies(stmt):
+                self._scan(summary, scope, body, held)
+
+    def _record_stmt_exprs(
+        self,
+        summary: FunctionSummary,
+        scope: Scope,
+        stmt: ast.stmt,
+        held: Tuple[LockId, ...],
+    ) -> None:
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                continue  # nested statements are walked by _scan
+            self._record_expr(summary, scope, child, held)
+
+    def _record_expr(
+        self,
+        summary: FunctionSummary,
+        scope: Scope,
+        expr: ast.AST,
+        held: Tuple[LockId, ...],
+    ) -> None:
+        stack: List[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(node, ast.stmt) and node is not expr:
+                continue
+            if isinstance(node, ast.Call):
+                callee = self.graph.resolve_call(node, scope)
+                summary.calls.append(
+                    LockedCall(
+                        callee=callee.key if callee is not None else None,
+                        held=held,
+                        line=node.lineno,
+                        text=dotted_name(node.func) or "<dynamic>",
+                    )
+                )
+                blocking = _call_blocking(node)
+                if blocking is not None:
+                    desc, kinds = blocking
+                    summary.blocking.append(
+                        BlockingSite(
+                            line=node.lineno,
+                            desc=desc,
+                            kinds=kinds,
+                            held=held,
+                        )
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- fixpoints ---------------------------------------------------------
+
+    def transitive_acquires(self) -> Dict[str, FrozenSet[LockId]]:
+        """Locks each function may acquire, directly or via callees."""
+        if self._transitive is not None:
+            return self._transitive
+        current: Dict[str, set[LockId]] = {
+            key: {acq.lock for acq in summary.acquires}
+            for key, summary in self.summaries.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, summary in self.summaries.items():
+                mine = current[key]
+                before = len(mine)
+                for call in summary.calls:
+                    if call.callee is not None and call.callee in current:
+                        mine |= current[call.callee]
+                if len(mine) != before:
+                    changed = True
+        self._transitive = {
+            key: frozenset(locks) for key, locks in current.items()
+        }
+        return self._transitive
+
+    def acquire_path(self, start: str, lock: LockId) -> List[str]:
+        """Shortest call chain from ``start`` to a direct acquirer of
+        ``lock`` (both ends included); empty when unreachable."""
+        if any(
+            acq.lock == lock for acq in self.summaries[start].acquires
+        ):
+            return [start]
+        trans = self.transitive_acquires()
+        parents: Dict[str, str] = {}
+        queue: List[str] = [start]
+        seen = {start}
+        while queue:
+            here = queue.pop(0)
+            for call in self.summaries[here].calls:
+                callee = call.callee
+                if callee is None or callee in seen:
+                    continue
+                if callee not in self.summaries:
+                    continue
+                if lock not in trans.get(callee, frozenset()):
+                    continue
+                parents[callee] = here
+                if any(
+                    acq.lock == lock
+                    for acq in self.summaries[callee].acquires
+                ):
+                    path = [callee]
+                    while path[-1] in parents:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                seen.add(callee)
+                queue.append(callee)
+        return []
+
+    def order_edges(self) -> Dict[Tuple[LockId, LockId], OrderEdge]:
+        """Every observed ``held -> acquired`` pair with one witness."""
+        trans = self.transitive_acquires()
+        edges: Dict[Tuple[LockId, LockId], OrderEdge] = {}
+
+        def add(
+            first: LockId,
+            second: LockId,
+            fn_key: str,
+            line: int,
+            via: Optional[str],
+        ) -> None:
+            if first == second:
+                return
+            edges.setdefault(
+                (first, second),
+                OrderEdge(
+                    first=first,
+                    second=second,
+                    fn_key=fn_key,
+                    line=line,
+                    via=via,
+                ),
+            )
+
+        for key, summary in self.summaries.items():
+            for acq in summary.acquires:
+                for h in acq.held:
+                    add(h, acq.lock, key, acq.line, None)
+            for call in summary.calls:
+                if call.callee is None or not call.held:
+                    continue
+                for lock in trans.get(call.callee, frozenset()):
+                    if lock in call.held:
+                        continue
+                    for h in call.held:
+                        add(h, lock, key, call.line, call.callee)
+        return edges
+
+    # -- iteration ---------------------------------------------------------
+
+    def iter_summaries(self) -> Iterator[FunctionSummary]:
+        yield from self.summaries.values()
+
+
+def _nested_bodies(stmt: ast.stmt) -> Iterator[List[ast.stmt]]:
+    """Statement lists nested directly inside ``stmt`` (if/for/try/...)."""
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if isinstance(block, list) and block and isinstance(
+            block[0], ast.stmt
+        ):
+            yield block
+    for handler in getattr(stmt, "handlers", ()) or ():
+        yield handler.body

@@ -10,15 +10,25 @@ nonzero.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 
 from .base import Checker, SourceModule, all_checkers
-from .findings import Finding
+from .findings import SEVERITIES, Finding
 
-__all__ = ["AnalysisReport", "analyze", "iter_source_files"]
+__all__ = [
+    "AnalysisReport",
+    "analyze",
+    "iter_source_files",
+    "load_baseline",
+]
 
 SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", "node_modules"}
+
+# What a baseline entry pins a finding by.  Line numbers drift with every
+# edit, so they are deliberately not part of the identity.
+BaselineKey = tuple[str, str, str]  # (checker, path, message)
 
 
 @dataclass
@@ -31,11 +41,19 @@ class AnalysisReport:
     findings: list[Finding] = field(default_factory=list)
     suppressed: int = 0
     parse_errors: list[Finding] = field(default_factory=list)
+    baselined: int = 0
+    fail_on: str = SEVERITIES[0]  # weakest: every finding fails the run
 
     @property
     def ok(self) -> bool:
-        """True when nothing unsuppressed was found (exit code 0)."""
-        return not self.findings and not self.parse_errors
+        """True when nothing at or above ``fail_on`` was found (exit 0)."""
+        if self.parse_errors:
+            return False
+        threshold = SEVERITIES.index(self.fail_on)
+        return not any(
+            SEVERITIES.index(finding.severity) >= threshold
+            for finding in self.findings
+        )
 
     def all_findings(self) -> list[Finding]:
         return sorted(
@@ -55,6 +73,8 @@ class AnalysisReport:
                 "files_scanned": self.files_scanned,
                 "findings": len(findings),
                 "suppressed": self.suppressed,
+                "baselined": self.baselined,
+                "fail_on": self.fail_on,
                 "findings_by_checker": by_checker,
                 "ok": self.ok,
             },
@@ -63,11 +83,14 @@ class AnalysisReport:
 
     def render_text(self) -> str:
         lines = [finding.render() for finding in self.all_findings()]
-        lines.append(
+        summary = (
             f"{self.files_scanned} file(s) scanned, "
             f"{len(self.findings) + len(self.parse_errors)} finding(s), "
             f"{self.suppressed} suppressed"
         )
+        if self.baselined:
+            summary += f", {self.baselined} baselined"
+        lines.append(summary)
         return "\n".join(lines)
 
 
@@ -114,10 +137,46 @@ def _load_modules(
     return modules, errors
 
 
+def load_baseline(path: str) -> set[BaselineKey]:
+    """Accepted-findings keys from a committed ``--json`` report.
+
+    A baseline lets a new checker land before every pre-existing finding
+    is fixed: findings whose ``(checker, path, message)`` triple appears
+    in the baseline file are counted (``baselined``), not reported.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    entries = payload.get("findings", payload) if isinstance(
+        payload, dict
+    ) else payload
+    keys: set[BaselineKey] = set()
+    for entry in entries:
+        try:
+            keys.add(
+                (
+                    str(entry["checker"]),
+                    str(entry["path"]),
+                    str(entry["message"]),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"baseline entry {entry!r} lacks checker/path/message"
+            ) from exc
+    return keys
+
+
 def analyze(
-    roots: list[str], only: list[str] | None = None
+    roots: list[str],
+    only: list[str] | None = None,
+    baseline: set[BaselineKey] | None = None,
+    fail_on: str = SEVERITIES[0],
 ) -> AnalysisReport:
     """Run the (selected) checkers over every Python file under ``roots``."""
+    if fail_on not in SEVERITIES:
+        raise ValueError(
+            f"fail_on {fail_on!r} not one of {SEVERITIES}"
+        )
     checkers: list[Checker] = all_checkers(only)
     modules, parse_errors = _load_modules(roots)
     report = AnalysisReport(
@@ -125,6 +184,7 @@ def analyze(
         checkers=[checker.id for checker in checkers],
         files_scanned=len(modules),
         parse_errors=parse_errors,
+        fail_on=fail_on,
     )
     by_relpath = {module.relpath: module for module in modules}
     raw: list[Finding] = []
@@ -137,6 +197,11 @@ def analyze(
         module = by_relpath.get(finding.path)
         if module is not None and module.is_suppressed(finding):
             report.suppressed += 1
+        elif (
+            baseline is not None
+            and (finding.checker, finding.path, finding.message) in baseline
+        ):
+            report.baselined += 1
         else:
             report.findings.append(finding)
     report.findings.sort(key=Finding.sort_key)

@@ -14,7 +14,8 @@ Usage::
     python -m repro bench --experiment fig6 [--profile quick]
     python -m repro inspect --base /tmp/data --sf 3 --scale test
     python -m repro analyze [--root src/repro] [--json] [--output out.json] \
-        [--checker durability --checker swallow] [--list-checkers]
+        [--checker durability --checker swallow] [--list-checkers] \
+        [--fail-on error] [--baseline accepted.json]
 
 The CLI wraps the same public API the examples use; it exists so a
 downstream user can poke at a repository without writing Python.
@@ -25,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .analysis.findings import SEVERITIES
 from .bench import (
     ExperimentContext,
     PROFILES,
@@ -270,6 +272,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-checkers", action="store_true",
         help="list available checker ids and exit",
     )
+    analyze.add_argument(
+        "--fail-on", choices=list(SEVERITIES), default=SEVERITIES[0],
+        help="minimum severity that fails the run (default: "
+        f"{SEVERITIES[0]}, i.e. every finding fails)",
+    )
+    analyze.add_argument(
+        "--baseline", default=None,
+        help="JSON report of accepted findings; findings present in it "
+        "are counted as baselined, not reported",
+    )
     return parser
 
 
@@ -512,7 +524,7 @@ def _command_analyze(args: argparse.Namespace) -> int:
     """Run the static-analysis checkers; exit 1 on unsuppressed findings."""
     import os
 
-    from .analysis import analyze, checker_ids
+    from .analysis import analyze, checker_ids, load_baseline
     from .jsonio import render_json
 
     if args.list_checkers:
@@ -525,7 +537,16 @@ def _command_analyze(args: argparse.Namespace) -> int:
     try:
         only = tuple(args.checker) if args.checker else None
         roots = args.root or [os.path.dirname(os.path.abspath(__file__))]
-        report = analyze(roots, only=only)
+        baseline = None
+        if args.baseline:
+            try:
+                baseline = load_baseline(args.baseline)
+            except (OSError, ValueError) as exc:
+                print(f"cannot load baseline: {exc}", file=sys.stderr)
+                return 2
+        report = analyze(
+            roots, only=only, baseline=baseline, fail_on=args.fail_on
+        )
     except KeyError:
         known = ", ".join(checker_ids())
         print(f"unknown checker id; known checkers: {known}",

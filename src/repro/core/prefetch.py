@@ -22,13 +22,13 @@ never change a result.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
+from ..util.lock_sanitizer import make_lock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.database import Database
@@ -65,6 +65,18 @@ class _SessionHistory:
 class WorkloadPrefetcher:
     """Predicts and warms the chunks a session is likely to need next."""
 
+    # Machine-checked (repro analyze, lock-discipline / blocking-under-lock):
+    # the successor index swaps atomically and no warm-up I/O runs under it.
+    _GUARDED = {
+        "_lock": (
+            "_successors",
+            "_chunk_time",
+            "_chunk_group",
+            "_indexed_files",
+            "_futures",
+        )
+    }
+
     def __init__(
         self,
         database: "Database",
@@ -83,7 +95,7 @@ class WorkloadPrefetcher:
         # waste memory without ever producing a hit).
         self.warm_via = None
         self.stats = PrefetchStats()
-        self._lock = threading.Lock()
+        self._lock = make_lock("WorkloadPrefetcher._lock")
         # Per-session history, bounded: long-running serving creates an
         # unbounded stream of session ids, so the least-recently-active
         # histories are evicted once the cap is reached.

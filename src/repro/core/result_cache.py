@@ -47,7 +47,6 @@ I/O.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 
@@ -64,6 +63,7 @@ from ..engine.expressions import (
 )
 from ..engine.predicates import is_numeric_literal, oriented_bound_conjuncts
 from ..engine.table import Table
+from ..util.lock_sanitizer import make_lock
 
 __all__ = ["ResultCacheStats", "ResultCache", "normalize_plan"]
 
@@ -412,7 +412,7 @@ class ResultCache:
             raise ValueError("result cache budget must be positive")
         self.budget_bytes = budget_bytes
         self.stats = ResultCacheStats()
-        self._lock = threading.Lock()
+        self._lock = make_lock("ResultCache._lock")
         self._entries: dict[tuple, _CacheEntry] = {}
         # template fingerprint -> exact fingerprints sharing it (the
         # subsumption candidate index).

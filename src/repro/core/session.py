@@ -24,12 +24,12 @@ shared underneath is synchronized by the engine.
 from __future__ import annotations
 
 import queue
-import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
 from ..engine.errors import ExecutionError
 from ..engine.physical import ExecStats
+from ..util.lock_sanitizer import make_lock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .partial_views import DerivationReport
@@ -131,6 +131,10 @@ class SessionPool:
     counters reset, DB-API-connection-pool style.
     """
 
+    # Machine-checked (repro analyze, lock-discipline): the size cap only
+    # holds if creation/checkout accounting is serialized.
+    _GUARDED = {"_lock": ("_created", "_checked_out")}
+
     def __init__(self, db: "SommelierDB", size: int = 4) -> None:
         if size <= 0:
             raise ExecutionError("session pool size must be positive")
@@ -139,7 +143,7 @@ class SessionPool:
         self._idle: "queue.LifoQueue[SommelierSession]" = queue.LifoQueue()
         self._created = 0
         self._checked_out = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("SessionPool._lock")
         self._closed = False
 
     def acquire(self, timeout: float | None = None) -> SommelierSession:

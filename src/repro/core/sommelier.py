@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 import time
 from dataclasses import dataclass
 
@@ -47,6 +46,7 @@ from .query_types import QueryType, classify_plan
 from .registrar import Registrar, RegistrarReport, XseedChunkLoader
 from .schema import SommelierConfig, create_seismology_schema
 from .two_stage import QueryResult, TwoStageCompiler, TwoStageOptions
+from ..util.lock_sanitizer import make_lock
 
 __all__ = ["SommelierDB"]
 
@@ -161,8 +161,8 @@ class SommelierDB:
 
             self.result_cache = ResultCache(self.options.result_cache_bytes)
         self.stats = SommelierStats()
-        self._stats_lock = threading.Lock()
-        self._derivation_lock = threading.Lock()
+        self._stats_lock = make_lock("SommelierDB._stats_lock")
+        self._derivation_lock = make_lock("SommelierDB._derivation_lock")
         self._session_counter = 0
         self._closed = False
         # Shard-layout generation last reconciled with the caches: when the

@@ -27,7 +27,6 @@ benchmark.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -36,6 +35,7 @@ from .predicates import (
     literal_bounds_by_column,
     range_may_satisfy,
 )
+from ..util.lock_sanitizer import make_lock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .database import Database
@@ -158,7 +158,7 @@ class ChunkPlanner:
     def __init__(self, database: "Database") -> None:
         self.database = database
         self.stats = PlannerStats()
-        self._lock = threading.Lock()
+        self._lock = make_lock("ChunkPlanner._lock")
 
     # -- planning ----------------------------------------------------------
 

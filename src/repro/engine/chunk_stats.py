@@ -27,7 +27,6 @@ database recovers them without re-decoding anything.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,6 +35,7 @@ from .errors import CatalogError
 from .indexes import ZoneMap
 from .table import Table
 from .types import STRING
+from ..util.lock_sanitizer import make_lock
 
 __all__ = [
     "ChunkStats",
@@ -167,7 +167,7 @@ class ChunkStatsCatalog:
     """Thread-safe registry of :class:`ChunkStats`, keyed by chunk URI."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("ChunkStatsCatalog._lock")
         self._entries: dict[str, ChunkStats] = {}
         # Running aggregate of observed decode costs so the planner's
         # default cost estimate is O(1) per plan, not a catalog scan.

@@ -40,7 +40,6 @@ import hashlib
 import json
 import os
 import shutil
-import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -50,6 +49,7 @@ from .errors import StorageError
 from .table import Field, Schema, Table
 from .types import STRING, type_by_name
 from .column import Column
+from ..util.lock_sanitizer import make_lock
 
 __all__ = ["ChunkStoreStats", "ChunkStore"]
 
@@ -124,11 +124,16 @@ class ChunkStore:
     parses and matches the requested URI.
     """
 
+    # Machine-checked (repro analyze, lock-discipline / blocking-under-lock):
+    # staging names must be unique, and the file I/O around them is
+    # deliberately outside the lock — only the counter bump is inside.
+    _GUARDED = {"_lock": ("_tmp_counter",)}
+
     def __init__(self, root: str) -> None:
         self.root = root
         self.stats = ChunkStoreStats()
         os.makedirs(root, exist_ok=True)
-        self._lock = threading.Lock()
+        self._lock = make_lock("ChunkStore._lock")
         self._tmp_counter = 0
         # uri -> (dirname, payload_bytes, loading_cost)
         self._index: dict[str, tuple[str, int, float]] = {}

@@ -22,7 +22,6 @@ from __future__ import annotations
 import multiprocessing
 import os
 import tempfile
-import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Protocol, Sequence
@@ -41,6 +40,7 @@ from .shared_scan import SharedScanScheduler
 from .storage import BufferPool, PagedColumnStore
 from .table import Field, Schema, Table
 from .types import INT64
+from ..util.lock_sanitizer import make_lock
 
 __all__ = ["ChunkLoader", "Database", "qualify_chunk"]
 
@@ -81,6 +81,19 @@ class ChunkLoader(Protocol):
 
 class Database:
     """One database instance (the unit every loading approach prepares)."""
+
+    # Machine-checked (repro analyze, lock-discipline / blocking-under-lock):
+    # executor handles and their size watermarks swap only under their lock,
+    # and nothing slow may run while one of these locks is held.
+    _GUARDED = {
+        "_io_executor_lock": ("_io_executor", "_io_executor_workers"),
+        "_process_executor_lock": (
+            "_process_executor",
+            "_process_executor_workers",
+        ),
+        "_shard_lock": ("shard_coordinator",),
+        "_load_accounting_lock": ("chunk_seconds_total",),
+    }
 
     def __init__(
         self,
@@ -142,7 +155,7 @@ class Database:
         self._io_executor: ThreadPoolExecutor | None = None
         self._io_executor_workers = 0
         self._retired_io_executors: list[ThreadPoolExecutor] = []
-        self._io_executor_lock = threading.Lock()
+        self._io_executor_lock = make_lock("Database._io_executor_lock")
         # Process pool for the GIL-free stage two: workers decode chunks
         # and commit them to the shared chunk store; the parent mmaps them
         # back.  Created lazily (spawn context), invalidated whenever the
@@ -150,13 +163,13 @@ class Database:
         self._process_executor: ProcessPoolExecutor | None = None
         self._process_executor_workers = 0
         self._retired_process_executors: list[ProcessPoolExecutor] = []
-        self._process_executor_lock = threading.Lock()
-        self._load_accounting_lock = threading.Lock()
+        self._process_executor_lock = make_lock("Database._process_executor_lock")
+        self._load_accounting_lock = make_lock("Database._load_accounting_lock")
         # Scatter-gather coordinator for sharded stage two: created on the
         # first sharded scan (or on reopen of a sharded checkpoint) and
         # rebuilt when the requested shard count changes.
         self.shard_coordinator = None
-        self._shard_lock = threading.Lock()
+        self._shard_lock = make_lock("Database._shard_lock")
 
     # -- scanning -----------------------------------------------------------
 
@@ -547,26 +560,35 @@ class Database:
         return self._tempdir is None
 
     def close(self) -> None:
+        # Detach everything under the locks, then tear it down outside
+        # them: shutdown(wait=True) joins worker threads/processes, and a
+        # worker that re-enters this database (chunk accounting, store
+        # commits) must never find close() still holding an executor lock.
         with self._shard_lock:
-            if self.shard_coordinator is not None:
-                self.shard_coordinator.close()
-                self.shard_coordinator = None
+            coordinator = self.shard_coordinator
+            self.shard_coordinator = None
+        if coordinator is not None:
+            coordinator.close()
         with self._process_executor_lock:
-            for retired in self._retired_process_executors:
-                retired.shutdown(wait=False)
+            doomed_processes = list(self._retired_process_executors)
             self._retired_process_executors.clear()
-            if self._process_executor is not None:
-                self._process_executor.shutdown(wait=True)
-                self._process_executor = None
-                self._process_executor_workers = 0
+            active_process = self._process_executor
+            self._process_executor = None
+            self._process_executor_workers = 0
+        for retired in doomed_processes:
+            retired.shutdown(wait=False)
+        if active_process is not None:
+            active_process.shutdown(wait=True)
         with self._io_executor_lock:
-            for retired in self._retired_io_executors:
-                retired.shutdown(wait=False)
+            doomed_pools = list(self._retired_io_executors)
             self._retired_io_executors.clear()
-            if self._io_executor is not None:
-                self._io_executor.shutdown(wait=True)
-                self._io_executor = None
-                self._io_executor_workers = 0
+            active_pool = self._io_executor
+            self._io_executor = None
+            self._io_executor_workers = 0
+        for retired in doomed_pools:
+            retired.shutdown(wait=False)
+        if active_pool is not None:
+            active_pool.shutdown(wait=True)
         if self._tempdir is not None:
             self._tempdir.cleanup()
             self._tempdir = None

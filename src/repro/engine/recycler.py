@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Callable
 
 from .errors import StorageError
 from .table import Table
+from ..util.lock_sanitizer import Lockable, make_lock, make_rlock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .chunk_store import ChunkStore
@@ -177,13 +178,13 @@ class Recycler:
         # One mutex guards entries + stats + byte accounting (exactness);
         # striped locks guard only the single-flight load coordination, so
         # waiting on one URI's decode never blocks another URI's.
-        self._lock = threading.RLock()
-        self._stripes = [threading.Lock() for _ in range(STRIPE_COUNT)]
+        self._lock = make_rlock("Recycler._lock")
+        self._stripes = [make_lock("Recycler._stripes") for _ in range(STRIPE_COUNT)]
         self._inflight: list[dict[str, _InflightLoad]] = [
             {} for _ in range(STRIPE_COUNT)
         ]
 
-    def _stripe_of(self, uri: str) -> tuple[threading.Lock, dict[str, _InflightLoad]]:
+    def _stripe_of(self, uri: str) -> tuple[Lockable, dict[str, _InflightLoad]]:
         index = hash(uri) % STRIPE_COUNT
         return self._stripes[index], self._inflight[index]
 

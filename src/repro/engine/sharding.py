@@ -29,7 +29,6 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
-import threading
 import uuid
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -38,6 +37,7 @@ from typing import TYPE_CHECKING
 from . import shard_worker
 from .errors import CatalogError, ExecutionError, QueryCancelled, StorageError
 from .table import Table
+from ..util.lock_sanitizer import make_lock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from . import algebra
@@ -75,7 +75,7 @@ class ShardLayout:
             raise StorageError("shard time bucket must be positive")
         self.shards = int(shards)
         self.bucket_ms = int(bucket_ms)
-        self._lock = threading.Lock()
+        self._lock = make_lock("ShardLayout._lock")
         # uri -> (station, bucket) partition keys from the metadata tables.
         self._keys: dict[str, tuple[str, int]] = {}
         self._indexed_files = -1
@@ -178,6 +178,19 @@ class ScatterGatherCoordinator:
     # How often the gather loop polls for cancellation (seconds).
     _POLL_SECONDS = 0.05
 
+    # Machine-checked (repro analyze, lock-discipline / blocking-under-lock):
+    # scatter-gather counters are snapshot under the stats lock, which must
+    # stay cheap — no pool work may run while it is held.
+    _GUARDED = {
+        "_stats_lock": (
+            "queries",
+            "subplans",
+            "chunks_routed",
+            "worker_crashes",
+            "cancel_broadcasts",
+        )
+    }
+
     def __init__(
         self,
         database: "Database",
@@ -190,8 +203,8 @@ class ScatterGatherCoordinator:
         self.root = os.path.join(database.workdir, "shards")
         self._cancel_dir = os.path.join(self.root, ".cancel")
         self._pools: dict[int, ProcessPoolExecutor] = {}
-        self._pool_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
+        self._pool_lock = make_lock("ScatterGatherCoordinator._pool_lock")
+        self._stats_lock = make_lock("ScatterGatherCoordinator._stats_lock")
         self._worker_kernels: dict[int, str] = {}
         # Bumped by Database.sharding() when the shard count changes, so
         # the façade can invalidate layout-dependent bookkeeping.

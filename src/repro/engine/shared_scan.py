@@ -56,6 +56,7 @@ import numpy as np
 
 from .errors import ExecutionError
 from .table import Table
+from ..util.lock_sanitizer import make_lock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from . import algebra
@@ -135,7 +136,7 @@ class _ScanPass:
 
     def __init__(self, table_name: str) -> None:
         self.table_name = table_name
-        self.lock = threading.Lock()
+        self.lock = make_lock("_ScanPass.lock")
         self.consumers = 0
         self.deliveries: dict[str, _Delivery] = {}
         # (uris, predicate key | None, schema names) -> single-flight
@@ -152,9 +153,22 @@ class SharedScanScheduler:
     gate).
     """
 
+    # Machine-checked (repro analyze, lock-discipline): the shared-scan
+    # counters feed counters_snapshot() and must never race.
+    _GUARDED = {
+        "_lock": (
+            "_passes_started",
+            "_consumers_total",
+            "_consumers_attached",
+            "_deliveries_produced",
+            "_deliveries_shared",
+            "_assemblies_shared",
+        )
+    }
+
     def __init__(self, database: "Database") -> None:
         self.database = database
-        self._lock = threading.Lock()
+        self._lock = make_lock("SharedScanScheduler._lock")
         self._passes: dict[str, _ScanPass] = {}
         # Cumulative counters for counters_snapshot() / the benchmarks.
         self._passes_started = 0

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import os
 import struct
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable
@@ -31,6 +30,7 @@ from .column import Column
 from .errors import StorageError, TypeMismatchError
 from .table import Schema, Table
 from .types import STRING, DataType, type_by_name
+from ..util.lock_sanitizer import make_rlock
 
 __all__ = ["PageId", "BufferPool", "PagedColumnStore", "PoolStats"]
 
@@ -92,7 +92,7 @@ class BufferPool:
         self.stats = PoolStats()
         self._pages: "OrderedDict[PageId, np.ndarray]" = OrderedDict()
         self._bytes_cached = 0
-        self._lock = threading.RLock()
+        self._lock = make_rlock("BufferPool._lock")
 
     @property
     def bytes_cached(self) -> int:

@@ -1,0 +1,10 @@
+"""Small shared utilities that sit below the engine layers."""
+
+from .lock_sanitizer import LockOrderViolation, make_lock, make_rlock, sanitizer_enabled
+
+__all__ = [
+    "LockOrderViolation",
+    "make_lock",
+    "make_rlock",
+    "sanitizer_enabled",
+]

@@ -1,0 +1,220 @@
+"""Runtime lock-order sanitizer.
+
+Every lock in the engine is constructed through :func:`make_lock` /
+:func:`make_rlock` with a stable, human-readable name (``"Recycler._lock"``,
+``"SharedScanScheduler._lock"``, ...).  By default the factories return plain
+``threading`` primitives — zero overhead, nothing recorded.  When the
+``REPRO_LOCK_SANITIZER`` environment variable is set to a non-empty value
+other than ``"0"``, they instead return :class:`SanitizedLock` wrappers that
+
+* keep a per-thread stack of currently-held locks,
+* record every *order edge* ``(held, acquired)`` into a global graph, and
+* raise :class:`LockOrderViolation` the moment a thread acquires locks in an
+  order that inverts a previously-observed edge — i.e. a potential deadlock
+  is reported deterministically even when the interleaving that would hang
+  never happens in this run.
+
+The sanitizer is the runtime half of the static ``lock-order`` checker in
+``repro.analysis``: CI runs the tier-1 suite with ``REPRO_LOCK_SANITIZER=1``
+so the statically-derived acquisition graph is cross-validated against what
+the code actually does under test load.
+
+Identity is *name-level*, not object-level: two instances of the same class
+share lock names, so an inversion between ``db1.recycler._lock`` and
+``db2.recycler._lock`` is reported even though the objects differ.  That is
+deliberate — the static checker reasons about classes, not instances — but it
+means independent same-named locks that are legitimately nested must be given
+distinct names (the Recycler's stripes share one ``"Recycler._stripes"`` name
+because stripes are never nested within each other).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import List, Protocol, Tuple
+
+ENV_FLAG = "REPRO_LOCK_SANITIZER"
+
+__all__ = [
+    "ENV_FLAG",
+    "LockOrderViolation",
+    "Lockable",
+    "SanitizedLock",
+    "make_lock",
+    "make_rlock",
+    "observed_edges",
+    "reset_observed_edges",
+    "sanitizer_enabled",
+]
+
+
+class LockOrderViolation(RuntimeError):
+    """Two locks were acquired in inconsistent orders (potential deadlock)."""
+
+
+class Lockable(Protocol):
+    """Structural type shared by ``threading`` locks and sanitized wrappers."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> bool: ...
+
+    def __exit__(self, *exc: object) -> None: ...
+
+
+def sanitizer_enabled() -> bool:
+    """True when the process should hand out instrumented locks."""
+    return os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+class _OrderGraph:
+    """Global dynamic lock-order edge graph.
+
+    An edge ``a -> b`` means "some thread held *a* while acquiring *b*"; the
+    witness string records where.  Guarded by a raw ``threading.Lock`` (not a
+    sanitized one) so the sanitizer can never recurse into itself.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._edges: dict[Tuple[str, str], str] = {}
+
+    def record(self, held: Tuple[str, ...], name: str) -> None:
+        if not held:
+            return
+        thread = threading.current_thread().name
+        witness = f"thread {thread!r} held [{', '.join(held)}] acquiring {name!r}"
+        with self._mutex:
+            for h in held:
+                if h == name:
+                    continue
+                inverse = self._edges.get((name, h))
+                if inverse is not None:
+                    raise LockOrderViolation(
+                        f"lock order inversion: {h!r} -> {name!r} ({witness}) "
+                        f"contradicts previously observed {name!r} -> {h!r} "
+                        f"({inverse})"
+                    )
+                self._edges.setdefault((h, name), witness)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        with self._mutex:
+            return sorted(self._edges)
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._edges.clear()
+
+
+_GRAPH = _OrderGraph()
+
+
+def observed_edges() -> List[Tuple[str, str]]:
+    """Snapshot of all ``(held, acquired)`` edges seen so far in this process."""
+    return _GRAPH.edges()
+
+
+def reset_observed_edges() -> None:
+    """Clear the global edge graph (test isolation helper)."""
+    _GRAPH.reset()
+
+
+class _HeldStacks(threading.local):
+    def __init__(self) -> None:
+        self.stack: List["SanitizedLock"] = []
+
+
+_HELD = _HeldStacks()
+
+
+class SanitizedLock:
+    """Instrumented lock recording acquisition order per thread.
+
+    Wraps a plain ``Lock`` (or ``RLock`` when ``reentrant=True``) and checks
+    the global order graph *before* blocking, so an inversion is reported even
+    on schedules where the real deadlock would not have materialized.
+    """
+
+    __slots__ = ("name", "_reentrant", "_inner")
+
+    def __init__(self, name: str, *, reentrant: bool = False) -> None:
+        self.name = name
+        self._reentrant = reentrant
+        self._inner: threading.Lock | threading.RLock = (
+            threading.RLock() if reentrant else threading.Lock()
+        )
+
+    def _held_by_me(self) -> bool:
+        return any(entry is self for entry in _HELD.stack)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        reacquire = self._held_by_me()
+        if reacquire and not self._reentrant:
+            # A plain Lock re-acquired by its holder is a guaranteed
+            # self-deadlock; raising beats hanging the test suite.
+            raise LockOrderViolation(
+                f"thread {threading.current_thread().name!r} re-acquired "
+                f"non-reentrant lock {self.name!r} it already holds"
+            )
+        if not reacquire and blocking:
+            # Check/record before we block: this is what turns a latent
+            # inversion into a deterministic failure.
+            self._record_edges()
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            if not reacquire and not blocking:
+                self._record_edges()
+            _HELD.stack.append(self)
+        return acquired
+
+    def _record_edges(self) -> None:
+        held = tuple(dict.fromkeys(entry.name for entry in _HELD.stack))
+        _GRAPH.record(held, self.name)
+
+    def release(self) -> None:
+        stack = _HELD.stack
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is self:
+                del stack[i]
+                break
+        self._inner.release()
+
+    def locked(self) -> bool:
+        if not self._reentrant:
+            return self._inner.locked()  # type: ignore[union-attr]
+        # RLock exposes no portable "locked" probe; approximate with
+        # whether *this* thread holds it, which is what callers here use
+        # it for (assertions in tests).
+        return self._held_by_me()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        kind = "RLock" if self._reentrant else "Lock"
+        return f"<SanitizedLock {self.name!r} ({kind})>"
+
+
+def make_lock(name: str) -> Lockable:
+    """A mutual-exclusion lock, instrumented when the sanitizer is enabled.
+
+    ``name`` should be stable and unique per lock *role* (conventionally
+    ``"ClassName._attr"``); it is how the sanitizer and the static
+    ``lock-order`` checker line up their graphs.
+    """
+    if sanitizer_enabled():
+        return SanitizedLock(name)
+    return threading.Lock()
+
+
+def make_rlock(name: str) -> Lockable:
+    """A reentrant lock, instrumented when the sanitizer is enabled."""
+    if sanitizer_enabled():
+        return SanitizedLock(name, reentrant=True)
+    return threading.RLock()

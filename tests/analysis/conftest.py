@@ -18,3 +18,22 @@ def run_checker(tmp_path):
         return report.findings
 
     return run
+
+
+@pytest.fixture
+def run_project(tmp_path):
+    """Write a multi-file fixture package and run one checker over it.
+
+    ``files`` maps relative paths (``"pkg/mod.py"``) to source strings;
+    parent directories are created as needed.
+    """
+
+    def run(checker_id, files):
+        for relpath, source in files.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        report = analyze([str(tmp_path)], only=(checker_id,))
+        return report.findings
+
+    return run

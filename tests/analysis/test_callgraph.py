@@ -1,0 +1,304 @@
+"""Call-graph builder: resolution cases and conservative degradation."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.base import SourceModule
+from repro.analysis.callgraph import CallGraph, module_key
+
+
+def build_graph(tmp_path, files):
+    modules = []
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = textwrap.dedent(source)
+        path.write_text(text, encoding="utf-8")
+        modules.append(SourceModule.parse(str(path), relpath, text))
+    return CallGraph.build(modules)
+
+
+def calls_of(graph, fn_key):
+    """Resolved callee keys for every call in one function body."""
+    fn = graph.functions[fn_key]
+    scope = graph.scope(fn)
+    resolved = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            target = graph.resolve_call(node, scope)
+            resolved.append(target.key if target is not None else None)
+    return resolved
+
+
+class TestModuleKey:
+    def test_plain_module(self):
+        assert module_key("engine/recycler.py") == "engine.recycler"
+
+    def test_package_init(self):
+        assert module_key("engine/__init__.py") == "engine"
+
+    def test_root_init(self):
+        assert module_key("__init__.py") == ""
+
+
+class TestResolution:
+    def test_cross_module_function_call(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/main.py": (
+                    "from pkg.util import helper\n"
+                    "def entry():\n"
+                    "    return helper()\n"
+                ),
+            },
+        )
+        assert calls_of(graph, "pkg.main::entry") == ["pkg.util::helper"]
+
+    def test_relative_import_resolves(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/main.py": (
+                    "from .util import helper\n"
+                    "def entry():\n"
+                    "    return helper()\n"
+                ),
+            },
+        )
+        assert calls_of(graph, "pkg.main::entry") == ["pkg.util::helper"]
+
+    def test_self_method_and_attribute_chain(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "store.py": (
+                    "class Store:\n"
+                    "    def get(self):\n"
+                    "        return 1\n"
+                ),
+                "db.py": (
+                    "from store import Store\n"
+                    "class DB:\n"
+                    "    def __init__(self):\n"
+                    "        self.store = Store()\n"
+                    "    def read(self):\n"
+                    "        return self.store.get()\n"
+                    "    def read_twice(self):\n"
+                    "        return self.read()\n"
+                ),
+            },
+        )
+        assert calls_of(graph, "db::DB.read") == ["store::Store.get"]
+        assert calls_of(graph, "db::DB.read_twice") == ["db::DB.read"]
+
+    def test_annotated_parameter_resolves_receiver(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "store.py": (
+                    "class Store:\n"
+                    "    def get(self):\n"
+                    "        return 1\n"
+                ),
+                "use.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from store import Store\n"
+                    "def read(store: 'Store'):\n"
+                    "    return store.get()\n"
+                ),
+            },
+        )
+        assert calls_of(graph, "use::read") == ["store::Store.get"]
+
+    def test_local_constructor_assignment(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "store.py": (
+                    "class Store:\n"
+                    "    def get(self):\n"
+                    "        return 1\n"
+                ),
+                "use.py": (
+                    "from store import Store\n"
+                    "def read():\n"
+                    "    s = Store()\n"
+                    "    return s.get()\n"
+                ),
+            },
+        )
+        # Store() resolves to no __init__ (not defined) -> None, s.get()
+        # resolves through the local's inferred type.
+        assert calls_of(graph, "use::read") == [None, "store::Store.get"]
+
+    def test_method_resolution_follows_bases(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class Base:\n"
+                    "    def shared(self):\n"
+                    "        return 1\n"
+                    "class Child(Base):\n"
+                    "    def call(self):\n"
+                    "        return self.shared()\n"
+                ),
+            },
+        )
+        assert calls_of(graph, "mod::Child.call") == ["mod::Base.shared"]
+
+    def test_return_annotation_types_locals(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class Session:\n"
+                    "    def run(self):\n"
+                    "        return 1\n"
+                    "class DB:\n"
+                    "    def session(self) -> 'Session':\n"
+                    "        return Session()\n"
+                    "    def go(self):\n"
+                    "        s = self.session()\n"
+                    "        return s.run()\n"
+                ),
+            },
+        )
+        assert "mod::Session.run" in calls_of(graph, "mod::DB.go")
+
+    def test_call_cycles_do_not_hang(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "def a():\n"
+                    "    return b()\n"
+                    "def b():\n"
+                    "    return a()\n"
+                ),
+            },
+        )
+        assert calls_of(graph, "mod::a") == ["mod::b"]
+        assert calls_of(graph, "mod::b") == ["mod::a"]
+
+    def test_inheritance_cycle_does_not_hang(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class A(B):\n"
+                    "    def go(self):\n"
+                    "        return self.missing()\n"
+                    "class B(A):\n"
+                    "    pass\n"
+                ),
+            },
+        )
+        assert calls_of(graph, "mod::A.go") == [None]
+
+
+class TestConservativeDegradation:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "    target = getattr(obj, 'method')\n    return target()\n",
+            "    fn, arg = pick()\n    return fn(arg)\n",
+            "    return obj[0].method()\n",
+            "    return (lambda: 1)()\n",
+        ],
+    )
+    def test_dynamic_targets_resolve_to_none(self, tmp_path, body):
+        graph = build_graph(
+            tmp_path,
+            {"mod.py": f"def entry(obj):\n{body}"},
+        )
+        assert all(key is None for key in calls_of(graph, "mod::entry"))
+
+    def test_rebound_local_is_poisoned(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class A:\n"
+                    "    def go(self):\n"
+                    "        return 1\n"
+                    "class B:\n"
+                    "    def go(self):\n"
+                    "        return 2\n"
+                    "def entry(flag):\n"
+                    "    x = A()\n"
+                    "    x = B()\n"
+                    "    return x.go()\n"
+                ),
+            },
+        )
+        # Conflicting rebinds drop the local to unknown rather than pick
+        # one class arbitrarily.
+        assert calls_of(graph, "mod::entry")[-1] is None
+
+    def test_unknown_imports_never_crash(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "import os\n"
+                    "import numpy as np\n"
+                    "from collections import OrderedDict\n"
+                    "from nowhere.missing import thing\n"
+                    "def entry():\n"
+                    "    np.save('x', [1])\n"
+                    "    os.replace('a', 'b')\n"
+                    "    return thing(OrderedDict())\n"
+                ),
+            },
+        )
+        assert all(key is None for key in calls_of(graph, "mod::entry"))
+
+    def test_star_import_is_ignored(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "util.py": "def helper():\n    return 1\n",
+                "mod.py": (
+                    "from util import *\n"
+                    "def entry():\n"
+                    "    return helper()\n"
+                ),
+            },
+        )
+        assert calls_of(graph, "mod::entry") == [None]
+
+
+class TestClassFacts:
+    def test_lock_attrs_and_guarded(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "import threading\n"
+                    "from repro.util.lock_sanitizer import make_lock\n"
+                    "class C:\n"
+                    "    _GUARDED = {'_lock': ('counter',)}\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self._big = threading.RLock()\n"
+                    "        self._named = make_lock('C._named')\n"
+                    "        self.counter = 0\n"
+                ),
+            },
+        )
+        info = graph.classes["mod::C"]
+        assert info.lock_attrs == {
+            "_lock": False,
+            "_big": True,
+            "_named": False,
+        }
+        assert info.guarded == {"_lock": ("counter",)}

@@ -430,3 +430,424 @@ class TestSwallow:
             """,
         )
         assert findings == []
+
+
+class TestCancellationLoopForms:
+    def test_async_for_over_schedule_without_poll_fires(self, run_checker):
+        findings = run_checker(
+            "cancellation",
+            """
+            async def run(self, schedule, ctx):
+                async for index in schedule.stream():
+                    table = await self.load_chunk(index)
+                    self.emit(table)
+            """,
+        )
+        assert len(findings) == 1
+        assert "cancel" in findings[0].message
+
+    def test_async_for_with_poll_is_clean(self, run_checker):
+        findings = run_checker(
+            "cancellation",
+            """
+            async def run(self, schedule, ctx):
+                async for index in schedule.stream():
+                    ctx.raise_if_cancelled()
+                    table = await self.load_chunk(index)
+            """,
+        )
+        assert findings == []
+
+    def test_while_draining_schedule_without_poll_fires(self, run_checker):
+        findings = run_checker(
+            "cancellation",
+            """
+            def drain(self, schedule, ctx):
+                while schedule:
+                    index = schedule.pop()
+                    table = self.recycler.get_or_load(index)
+            """,
+        )
+        assert len(findings) == 1
+        assert "while loop" in findings[0].message
+
+    def test_while_with_poll_is_clean(self, run_checker):
+        findings = run_checker(
+            "cancellation",
+            """
+            def drain(self, schedule, ctx):
+                while schedule:
+                    ctx.check_cancelled()
+                    index = schedule.pop()
+                    table = self.recycler.get_or_load(index)
+            """,
+        )
+        assert findings == []
+
+    def test_while_on_unrelated_condition_is_clean(self, run_checker):
+        # The while gate never mentions a schedule: out of scope even
+        # though the body fetches.
+        findings = run_checker(
+            "cancellation",
+            """
+            def drain(self, pending):
+                while pending:
+                    index = pending.pop()
+                    table = self.recycler.get_or_load(index)
+            """,
+        )
+        assert findings == []
+
+
+LOCK_CYCLE_FILES = {
+    "mod_a.py": """
+        import threading
+        from typing import TYPE_CHECKING
+
+        if TYPE_CHECKING:
+            from mod_b import B
+
+
+        class A:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.count = 0
+
+            def first(self, b: "B"):
+                with self._lock:
+                    b.second()
+
+            def slow(self):
+                with self._lock:
+                    self.count += 1
+        """,
+    "mod_b.py": """
+        import threading
+        from typing import TYPE_CHECKING
+
+        if TYPE_CHECKING:
+            from mod_a import A
+
+
+        class B:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def second(self):
+                with self._lock:
+                    pass
+
+            def inverted(self, a: "A"):
+                with self._lock:
+                    a.slow()
+        """,
+}
+
+
+class TestLockOrder:
+    def test_cross_module_cycle_reports_both_witnesses(self, run_project):
+        findings = run_project("lock-order", LOCK_CYCLE_FILES)
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "lock-order cycle" in message
+        assert "A._lock" in message and "B._lock" in message
+        # Both inversion witnesses are named so the report is actionable.
+        assert "A.first" in message and "B.inverted" in message
+
+    def test_consistent_order_is_clean(self, run_project):
+        findings = run_project(
+            "lock-order",
+            {
+                "mod.py": """
+                import threading
+
+
+                class Outer:
+                    def __init__(self, inner):
+                        self._lock = threading.Lock()
+                        self.inner = inner
+
+                    def work(self):
+                        with self._lock:
+                            self.inner.bump()
+
+
+                class Inner:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self.count += 1
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_interprocedural_self_deadlock_fires(self, run_project):
+        findings = run_project(
+            "lock-order",
+            {
+                "mod.py": """
+                import threading
+
+
+                class C:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0
+
+                    def outer(self):
+                        with self._lock:
+                            self.helper()
+
+                    def helper(self):
+                        with self._lock:
+                            self.count += 1
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert "deadlock" in findings[0].message
+        assert "C.helper" in findings[0].message
+
+    def test_rlock_reacquire_is_clean(self, run_project):
+        findings = run_project(
+            "lock-order",
+            {
+                "mod.py": """
+                import threading
+
+
+                class C:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+                        self.count = 0
+
+                    def outer(self):
+                        with self._lock:
+                            self.helper()
+
+                    def helper(self):
+                        with self._lock:
+                            self.count += 1
+                """,
+            },
+        )
+        assert findings == []
+
+
+class TestBlockingUnderLock:
+    def test_direct_sleep_under_guarded_lock_fires(self, run_project):
+        findings = run_project(
+            "blocking-under-lock",
+            {
+                "mod.py": """
+                import threading
+                import time
+
+
+                class C:
+                    _GUARDED = {"_lock": ("count",)}
+
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0
+
+                    def work(self):
+                        with self._lock:
+                            time.sleep(1.0)
+                            self.count += 1
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+
+    def test_interprocedural_blocking_reports_chain(self, run_project):
+        findings = run_project(
+            "blocking-under-lock",
+            {
+                "mod.py": """
+                import threading
+                import time
+
+
+                class C:
+                    _GUARDED = {"_lock": ("count",)}
+
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0
+
+                    def work(self):
+                        with self._lock:
+                            self.helper()
+
+                    def helper(self):
+                        time.sleep(1.0)
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert "via" in findings[0].message
+        assert "C.helper" in findings[0].message
+
+    def test_unguarded_lock_is_not_flagged(self, run_project):
+        # Only locks registered in _GUARDED opt in to the hot-path
+        # blocking contract.
+        findings = run_project(
+            "blocking-under-lock",
+            {
+                "mod.py": """
+                import threading
+                import time
+
+
+                class C:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def work(self):
+                        with self._lock:
+                            time.sleep(1.0)
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_shutdown_nowait_is_exempt(self, run_project):
+        findings = run_project(
+            "blocking-under-lock",
+            {
+                "mod.py": """
+                import threading
+
+
+                class C:
+                    _GUARDED = {"_lock": ("pool",)}
+
+                    def __init__(self, pool):
+                        self._lock = threading.Lock()
+                        self.pool = pool
+
+                    def close(self):
+                        with self._lock:
+                            self.pool.shutdown(wait=False)
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_work_outside_lock_is_clean(self, run_project):
+        findings = run_project(
+            "blocking-under-lock",
+            {
+                "mod.py": """
+                import threading
+                import time
+
+
+                class C:
+                    _GUARDED = {"_lock": ("count",)}
+
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0
+
+                    def work(self):
+                        time.sleep(1.0)
+                        with self._lock:
+                            self.count += 1
+                """,
+            },
+        )
+        assert findings == []
+
+
+class TestAsyncReach:
+    def test_coroutine_reaching_sync_open_fires(self, run_project):
+        findings = run_project(
+            "async-reach",
+            {
+                "mod.py": """
+                def read_manifest(path):
+                    with open(path) as handle:
+                        return handle.read()
+
+
+                async def serve(path):
+                    return read_manifest(path)
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert "coroutine" in findings[0].message
+        assert "read_manifest" in findings[0].message
+
+    def test_transitive_chain_is_reported(self, run_project):
+        findings = run_project(
+            "async-reach",
+            {
+                "mod.py": """
+                import time
+
+
+                def inner():
+                    time.sleep(0.5)
+
+
+                def outer():
+                    inner()
+
+
+                async def serve():
+                    outer()
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert "via" in findings[0].message
+        assert "inner" in findings[0].message
+
+    def test_offloaded_payload_is_clean(self, run_project):
+        # Handing the blocking callable to an executor is the sanctioned
+        # pattern: the coroutine itself never blocks.
+        findings = run_project(
+            "async-reach",
+            {
+                "mod.py": """
+                import asyncio
+                import time
+
+
+                def payload():
+                    time.sleep(0.5)
+
+
+                async def serve(loop, pool):
+                    return await loop.run_in_executor(pool, payload)
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_await_chain_is_clean(self, run_project):
+        findings = run_project(
+            "async-reach",
+            {
+                "mod.py": """
+                import asyncio
+
+
+                async def inner():
+                    await asyncio.sleep(0.5)
+
+
+                async def serve():
+                    await inner()
+                """,
+            },
+        )
+        assert findings == []

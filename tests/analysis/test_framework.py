@@ -21,10 +21,13 @@ SILENT_SWALLOW = """
 
 EXPECTED_CHECKERS = {
     "async-blocking",
+    "async-reach",
+    "blocking-under-lock",
     "cancellation",
     "counter-plumbing",
     "durability",
     "lock-discipline",
+    "lock-order",
     "pickle-boundary",
     "swallow",
 }
@@ -113,9 +116,13 @@ class TestReport:
             "files_scanned",
             "findings",
             "suppressed",
+            "baselined",
+            "fail_on",
             "findings_by_checker",
             "ok",
         }
+        assert summary["baselined"] == 0
+        assert summary["fail_on"] == "warning"
         assert summary["files_scanned"] == 1
         assert summary["findings"] == 1
         assert summary["findings_by_checker"] == {"swallow": 1}
@@ -207,3 +214,108 @@ class TestShippedTree:
         report = analyze([root])
         assert report.all_findings() == []
         assert report.ok
+
+
+class TestFailOn:
+    def test_warning_finding_passes_under_fail_on_error(self, tmp_path):
+        _write(tmp_path, SILENT_SWALLOW)
+        report = analyze([str(tmp_path)], fail_on="error")
+        assert len(report.findings) == 1  # still reported...
+        assert report.ok  # ...but below the failure threshold
+
+    def test_warning_finding_fails_by_default(self, tmp_path):
+        _write(tmp_path, SILENT_SWALLOW)
+        report = analyze([str(tmp_path)])
+        assert not report.ok
+
+    def test_parse_error_fails_regardless_of_threshold(self, tmp_path):
+        _write(tmp_path, "def broken(:\n")
+        report = analyze([str(tmp_path)], fail_on="error")
+        assert not report.ok
+
+    def test_unknown_severity_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fail_on"):
+            analyze([str(tmp_path)], fail_on="fatal")
+
+    def test_cli_fail_on_error_exits_zero(self, tmp_path, capsys):
+        _write(tmp_path, SILENT_SWALLOW)
+        code = main([
+            "analyze", "--root", str(tmp_path), "--fail-on", "error",
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+
+class TestBaseline:
+    def test_json_report_round_trips_as_baseline(self, tmp_path, capsys):
+        from repro.analysis import load_baseline
+
+        _write(tmp_path, SILENT_SWALLOW)
+        report_path = tmp_path / "baseline.json"
+        assert main([
+            "analyze", "--root", str(tmp_path), "--json",
+            "--output", str(report_path),
+        ]) == 1
+        capsys.readouterr()
+        keys = load_baseline(str(report_path))
+        assert len(keys) == 1
+        report = analyze([str(tmp_path)], baseline=keys)
+        assert report.findings == []
+        assert report.baselined == 1
+        assert report.ok
+
+    def test_new_findings_still_fail_with_baseline(self, tmp_path, capsys):
+        _write(tmp_path, SILENT_SWALLOW)
+        report_path = tmp_path / "baseline.json"
+        main([
+            "analyze", "--root", str(tmp_path), "--json",
+            "--output", str(report_path),
+        ])
+        capsys.readouterr()
+        # Introduce a second, unbaselined finding in another file.
+        _write(tmp_path, SILENT_SWALLOW, name="fresh.py")
+        code = main([
+            "analyze", "--root", str(tmp_path),
+            "--baseline", str(report_path),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+        assert "fresh.py" in out
+
+    def test_bare_findings_list_accepted(self, tmp_path):
+        from repro.analysis import load_baseline
+
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps([
+                {
+                    "checker": "swallow",
+                    "path": "module.py",
+                    "message": "whatever",
+                    "severity": "warning",
+                    "line": 5,
+                }
+            ]),
+            encoding="utf-8",
+        )
+        assert load_baseline(str(path)) == {
+            ("swallow", "module.py", "whatever")
+        }
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        from repro.analysis import load_baseline
+
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps([{"checker": "x"}]), encoding="utf-8")
+        with pytest.raises(ValueError, match="checker/path/message"):
+            load_baseline(str(path))
+
+    def test_cli_missing_baseline_file_exits_two(self, tmp_path, capsys):
+        _write(tmp_path, "VALUE = 1\n")
+        code = main([
+            "analyze", "--root", str(tmp_path),
+            "--baseline", str(tmp_path / "nope.json"),
+        ])
+        assert code == 2
+        capsys.readouterr()

@@ -1,0 +1,187 @@
+"""Runtime lock-order sanitizer: factories, edge graph, inversion detection."""
+
+import threading
+
+import pytest
+
+from repro.util.lock_sanitizer import (
+    ENV_FLAG,
+    LockOrderViolation,
+    SanitizedLock,
+    make_lock,
+    make_rlock,
+    observed_edges,
+    reset_observed_edges,
+    sanitizer_enabled,
+)
+
+
+@pytest.fixture
+def clean_graph():
+    reset_observed_edges()
+    yield
+    reset_observed_edges()
+
+
+class TestFactories:
+    def test_disabled_returns_plain_primitives(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert not sanitizer_enabled()
+        lock = make_lock("X._lock")
+        rlock = make_rlock("X._rlock")
+        assert not isinstance(lock, SanitizedLock)
+        assert not isinstance(rlock, SanitizedLock)
+        with lock:
+            with rlock:
+                with rlock:  # reentrancy of the plain RLock
+                    pass
+
+    def test_zero_counts_as_disabled(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "0")
+        assert not sanitizer_enabled()
+
+    def test_enabled_returns_sanitized_wrappers(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        assert sanitizer_enabled()
+        assert isinstance(make_lock("X._lock"), SanitizedLock)
+        assert isinstance(make_rlock("X._rlock"), SanitizedLock)
+
+
+class TestOrderGraph:
+    def test_consistent_order_records_edges(self, clean_graph):
+        a = SanitizedLock("A._lock")
+        b = SanitizedLock("B._lock")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert observed_edges() == [("A._lock", "B._lock")]
+
+    def test_inversion_raises(self, clean_graph):
+        a = SanitizedLock("A._lock")
+        b = SanitizedLock("B._lock")
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderViolation, match="inversion"):
+                a.acquire()
+
+    def test_inversion_detected_without_real_contention(self, clean_graph):
+        # The edge graph is global across threads: thread 1 establishes
+        # A -> B, thread 2's B -> A raises even though no deadlock
+        # materializes in this schedule.
+        a = SanitizedLock("A._lock")
+        b = SanitizedLock("B._lock")
+        failures = []
+
+        def establish():
+            with a:
+                with b:
+                    pass
+
+        def invert():
+            try:
+                with b:
+                    with a:
+                        pass
+            except LockOrderViolation as exc:
+                failures.append(exc)
+
+        t1 = threading.Thread(target=establish)
+        t1.start()
+        t1.join()
+        t2 = threading.Thread(target=invert)
+        t2.start()
+        t2.join()
+        assert len(failures) == 1
+
+    def test_same_name_nesting_is_not_an_edge(self, clean_graph):
+        # Striped locks share one name; nesting distinct objects under
+        # the same name must not self-edge.
+        s1 = SanitizedLock("Recycler._stripes")
+        s2 = SanitizedLock("Recycler._stripes")
+        with s1:
+            with s2:
+                pass
+        assert observed_edges() == []
+
+    def test_reset_clears_edges(self, clean_graph):
+        a = SanitizedLock("A._lock")
+        b = SanitizedLock("B._lock")
+        with a:
+            with b:
+                pass
+        reset_observed_edges()
+        assert observed_edges() == []
+        # The inverse order is now legal again.
+        with b:
+            with a:
+                pass
+        assert observed_edges() == [("B._lock", "A._lock")]
+
+
+class TestReentrancy:
+    def test_rlock_reacquire_is_fine(self, clean_graph):
+        lock = SanitizedLock("C._lock", reentrant=True)
+        with lock:
+            with lock:
+                assert lock.locked()
+        assert not lock.locked()
+
+    def test_plain_lock_reacquire_raises_instead_of_hanging(
+        self, clean_graph
+    ):
+        lock = SanitizedLock("C._lock")
+        with lock:
+            with pytest.raises(LockOrderViolation, match="re-acquired"):
+                lock.acquire()
+        assert not lock.locked()
+
+    def test_rlock_reacquire_records_no_self_edge(self, clean_graph):
+        lock = SanitizedLock("C._lock", reentrant=True)
+        with lock:
+            with lock:
+                pass
+        assert observed_edges() == []
+
+
+class TestLockProtocol:
+    def test_nonblocking_acquire(self, clean_graph):
+        lock = SanitizedLock("C._lock")
+        assert lock.acquire(blocking=False) is True
+        assert lock.locked()
+        lock.release()
+        assert not lock.locked()
+
+    def test_nonblocking_acquire_failure_leaves_stack_clean(
+        self, clean_graph
+    ):
+        lock = SanitizedLock("C._lock")
+        holder_done = threading.Event()
+        release_now = threading.Event()
+
+        def hold():
+            with lock:
+                holder_done.set()
+                release_now.wait(timeout=5)
+
+        thread = threading.Thread(target=hold)
+        thread.start()
+        holder_done.wait(timeout=5)
+        assert lock.acquire(blocking=False) is False
+        release_now.set()
+        thread.join()
+        # Our failed attempt must not have been pushed as "held".
+        other = SanitizedLock("D._lock")
+        with other:
+            pass
+        assert observed_edges() == []
+
+    def test_context_manager_returns_true(self, clean_graph):
+        lock = SanitizedLock("C._lock")
+        with lock as acquired:
+            assert acquired is True
+
+    def test_repr_names_the_lock(self):
+        assert "C._lock" in repr(SanitizedLock("C._lock"))
